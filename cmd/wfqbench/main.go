@@ -1,0 +1,112 @@
+// Command wfqbench runs ad-hoc queue benchmarks: any subset of the
+// implemented algorithms, either paper workload, any thread counts, any
+// scheduler profile.
+//
+// Usage:
+//
+//	wfqbench [-workload pairs|fifty] [-algs "LF,opt WF (1+2)"]
+//	         [-threads 1,2,4,8] [-iters N] [-repeats N]
+//	         [-profile default|preempt|oversub] [-csv]
+//
+// Unlike wfqpaper (which reproduces the paper's exact figures), wfqbench
+// is the kitchen-sink tool: it also knows the extended baselines (mutex,
+// 2-lock, base WF+HP).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wfq/internal/harness"
+	"wfq/internal/report"
+)
+
+func main() {
+	workload := flag.String("workload", "pairs", "workload: pairs or fifty")
+	algsFlag := flag.String("algs", "LF,base WF,opt WF (1+2)", "comma-separated algorithm names")
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	iters := flag.Int("iters", 50000, "per-thread iterations")
+	repeats := flag.Int("repeats", 3, "averaged runs per data point")
+	profileName := flag.String("profile", "default", "scheduler profile: default, preempt or oversub")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	list := flag.Bool("list", false, "list available algorithms and profiles, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("algorithms:")
+		for _, a := range harness.AllAlgorithms() {
+			fmt.Printf("  %s\n", a.Name)
+		}
+		fmt.Println("profiles:")
+		for _, p := range harness.Profiles() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		return
+	}
+
+	var w harness.Workload
+	switch *workload {
+	case "pairs":
+		w = harness.Pairs
+	case "fifty":
+		w = harness.Fifty
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	var algs []harness.Algorithm
+	for _, name := range strings.Split(*algsFlag, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := harness.ByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown algorithm %q (use -list)", name))
+		}
+		algs = append(algs, a)
+	}
+
+	var threads []int
+	for _, t := range strings.Split(*threadsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad thread count %q", t))
+		}
+		threads = append(threads, n)
+	}
+
+	prof, ok := harness.ProfileByName(*profileName)
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q (use -list)", *profileName))
+	}
+
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.Name
+	}
+	title := fmt.Sprintf("%s, %s profile, %d iters/thread, avg of %d",
+		w, prof.Name, *iters, *repeats)
+	tab := report.NewTable(title, "threads", "sec", names)
+
+	pts, err := harness.Sweep(algs, threads, harness.Config{
+		Workload: w, Iters: *iters, Seed: 1, Profile: prof,
+	}, *repeats)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pt := range pts {
+		tab.Set(strconv.Itoa(pt.Threads), pt.Algorithm,
+			report.Cell{Value: pt.Summary.Mean, Std: pt.Summary.Std})
+	}
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfqbench:", err)
+	os.Exit(1)
+}

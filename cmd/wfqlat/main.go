@@ -1,0 +1,75 @@
+// Command wfqlat measures per-operation latency distributions — the
+// operational face of wait-freedom. The paper motivates its construction
+// with "strict deadlines for operation completion" (real-time, SLA);
+// this tool shows where that matters: the p99.9/max tail under a
+// disturbed scheduler, where a preempted lock-free thread stalls its own
+// operation but a preempted wait-free thread gets helped.
+//
+// Usage:
+//
+//	wfqlat [-threads 8] [-iters 20000] [-profile preempt] [-sample 1]
+//	       [-algs "LF,base WF,opt WF (1+2)"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wfq/internal/harness"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "worker threads")
+	iters := flag.Int("iters", 20000, "enqueue-dequeue pairs per thread")
+	profileName := flag.String("profile", "preempt", "scheduler profile: default, preempt or oversub")
+	sample := flag.Int("sample", 1, "time one in every k operations")
+	algsFlag := flag.String("algs", "LF,base WF,opt WF (1+2)", "comma-separated algorithm names")
+	flag.Parse()
+
+	prof, ok := harness.ProfileByName(*profileName)
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", *profileName))
+	}
+	cfg := harness.LatencyConfig{
+		Threads:     *threads,
+		Iters:       *iters,
+		Profile:     prof,
+		SampleEvery: *sample,
+	}
+	fmt.Printf("per-operation latency, %s profile, %d threads, %d pairs/thread\n\n",
+		prof.Name, *threads, *iters)
+	var algs []harness.Algorithm
+	for _, name := range strings.Split(*algsFlag, ",") {
+		name = strings.TrimSpace(name)
+		alg, ok := harness.ByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown algorithm %q", name))
+		}
+		algs = append(algs, alg)
+		r, err := harness.MeasureLatency(alg, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+
+	// Fairness: per-thread completion spread for the same workload —
+	// the starvation-freedom view of the same data.
+	fmt.Printf("\nper-thread completion fairness (max/min spread; cv = stddev/mean)\n\n")
+	for _, alg := range algs {
+		r, err := harness.MeasureFairness(alg, harness.Config{
+			Workload: harness.Pairs, Threads: *threads, Iters: *iters, Profile: prof,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfqlat:", err)
+	os.Exit(1)
+}

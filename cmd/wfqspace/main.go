@@ -1,0 +1,62 @@
+// Command wfqspace reproduces the paper's Figure 10 space-overhead
+// experiment with configurable scale: it measures mean live-heap bytes
+// while the enqueue-dequeue-pairs workload runs over queues pre-filled to
+// various sizes, and reports the WF/LF ratios.
+//
+// Usage:
+//
+//	wfqspace [-maxexp 6] [-threads 8] [-samples 9] [-repeats 1] [-csv]
+//
+// -maxexp 7 matches the paper's 10^7 ceiling but needs several GiB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wfq/internal/figures"
+	"wfq/internal/harness"
+)
+
+func main() {
+	maxExp := flag.Int("maxexp", 6, "largest initial size as a power of ten (paper: 7)")
+	threads := flag.Int("threads", 8, "workload threads (paper: 8)")
+	samples := flag.Int("samples", 9, "forced-GC live-heap samples per run (paper: 9)")
+	intervalMs := flag.Int("interval", 5, "milliseconds between samples")
+	repeats := flag.Int("repeats", 1, "averaged runs per cell (paper: 10)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	if *maxExp < 0 || *maxExp > 8 {
+		fatal(fmt.Errorf("maxexp %d out of range [0,8]", *maxExp))
+	}
+	sizes := []int{1}
+	for e := 1; e <= *maxExp; e++ {
+		sizes = append(sizes, sizes[len(sizes)-1]*10)
+	}
+	p := figures.SpaceParams{
+		Sizes:   sizes,
+		Repeats: *repeats,
+		Config: harness.SpaceConfig{
+			Threads:  *threads,
+			Samples:  *samples,
+			Interval: time.Duration(*intervalMs) * time.Millisecond,
+		},
+	}
+	tab, err := figures.Figure10(p)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfqspace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Dynamicthreads: bursts of short-lived goroutines share one wait-free
+// queue through the renaming namespace (§3.3 of the paper: "threads can
+// get and release (virtual) IDs from a small name space through one of
+// the known long-lived wait-free renaming algorithms").
+//
+// The queue is sized for 8 concurrent threads, but 200 goroutines use it
+// over the program's lifetime; at most 8 hold handles at any instant,
+// enforced here by a semaphore, as a server's worker-pool limiter would.
+//
+// Run with:
+//
+//	go run ./examples/dynamicthreads
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wfq"
+)
+
+func main() {
+	const maxConcurrent = 8
+	const bursts = 10
+	const goroutinesPerBurst = 20
+
+	q := wfq.New[int](maxConcurrent)
+	sem := make(chan struct{}, maxConcurrent)
+
+	var produced, consumed atomic.Int64
+	var reuse sync.Map // tid -> times leased, to show ids are recycled
+
+	for b := 0; b < bursts; b++ {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutinesPerBurst; g++ {
+			wg.Add(1)
+			go func(b, g int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+
+				h, err := q.Handle()
+				if err != nil {
+					// Cannot happen: the semaphore keeps
+					// concurrent holders ≤ maxConcurrent.
+					panic(err)
+				}
+				defer h.Release()
+				n, _ := reuse.LoadOrStore(h.TID(), new(atomic.Int64))
+				n.(*atomic.Int64).Add(1)
+
+				h.Enqueue(b*goroutinesPerBurst + g)
+				produced.Add(1)
+				if _, ok := h.Dequeue(); ok {
+					consumed.Add(1)
+				}
+			}(b, g)
+		}
+		wg.Wait()
+	}
+
+	// Drain leftovers (a goroutine may have consumed another's value,
+	// leaving its own behind).
+	h, err := q.Handle()
+	if err != nil {
+		panic(err)
+	}
+	defer h.Release()
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		consumed.Add(1)
+	}
+
+	fmt.Printf("goroutines: %d total, ≤%d concurrent\n", bursts*goroutinesPerBurst, maxConcurrent)
+	fmt.Printf("produced=%d consumed=%d (match=%v)\n", produced.Load(), consumed.Load(),
+		produced.Load() == consumed.Load())
+	fmt.Println("virtual thread-id reuse:")
+	reuse.Range(func(k, v any) bool {
+		fmt.Printf("  tid %v leased %d times\n", k, v.(*atomic.Int64).Load())
+		return true
+	})
+}

@@ -1,0 +1,74 @@
+// Quickstart: create a wait-free queue, lease per-goroutine handles, and
+// move values between producers and consumers.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"wfq"
+)
+
+func main() {
+	// A queue for up to 8 concurrently operating goroutines. The
+	// default configuration is the paper's recommended variant
+	// ("opt WF (1+2)"): both optimizations enabled.
+	q := wfq.New[string](8)
+
+	const producers = 3
+	const consumers = 2
+	const perProducer = 5
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Handle() leases a thread id from the queue's
+			// wait-free renaming namespace — no manual id
+			// bookkeeping.
+			h, err := q.Handle()
+			if err != nil {
+				panic(err)
+			}
+			defer h.Release()
+			for i := 0; i < perProducer; i++ {
+				h.Enqueue(fmt.Sprintf("job-%d.%d", p, i))
+			}
+		}(p)
+	}
+	wg.Wait() // all jobs enqueued
+
+	results := make(chan string, producers*perProducer)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := q.Handle()
+			if err != nil {
+				panic(err)
+			}
+			defer h.Release()
+			for {
+				job, ok := h.Dequeue()
+				if !ok {
+					return // queue drained
+				}
+				results <- job
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	count := 0
+	for job := range results {
+		fmt.Println("processed", job)
+		count++
+	}
+	fmt.Printf("done: %d jobs, queue length %d\n", count, q.Len())
+}

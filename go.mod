@@ -1,0 +1,3 @@
+module wfq
+
+go 1.22

@@ -1,0 +1,304 @@
+package core
+
+import "wfq/internal/yield"
+
+// Enqueue inserts v at the tail on behalf of thread tid — the paper's
+// enq(), Lines 61–66.
+func (q *Queue[T]) Enqueue(tid int, v T) {
+	q.checkTid(tid)
+	q.met.incOp(tid)
+	ph := q.nextPhase()                                                   // Line 62
+	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: newNode(v, int32(tid))}) // Line 63
+	q.help(tid, ph, true)                                                 // Line 64
+	q.helpFinishEnq(tid)                                                  // Line 65
+	if q.clearOnExit {
+		q.clearDesc(tid, ph, true)
+	}
+}
+
+// Dequeue removes the oldest element on behalf of thread tid — the
+// paper's deq(), Lines 98–108. ok=false is the EmptyException case.
+func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
+	q.checkTid(tid)
+	q.met.incOp(tid)
+	ph := q.nextPhase()                                                    // Line 99
+	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false}) // Line 100
+	q.help(tid, ph, false)                                                 // Line 101
+	q.helpFinishDeq(tid)                                                   // Line 102
+	n := q.state[tid].p.Load().node // Line 103
+	if n == nil {                   // Lines 104–106: linearized on an empty queue
+		if q.clearOnExit {
+			q.clearDesc(tid, ph, false)
+		}
+		return v, false
+	}
+	v = n.next.Load().value // Line 107: value of the node after the old sentinel
+	if q.clearOnExit {
+		q.clearDesc(tid, ph, false)
+	}
+	return v, true
+}
+
+// clearDesc installs a fresh non-pending, node-free descriptor (§3.3
+// enhancement). The replaced descriptor can never be confused with this
+// one by a stale helper CAS because state CASes compare pointers and this
+// descriptor is a new allocation.
+func (q *Queue[T]) clearDesc(tid int, ph int64, enqueue bool) {
+	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: false, enqueue: enqueue})
+}
+
+// help makes the calling thread (caller, operating at phase ph) assist
+// pending operations before its own completes.
+//
+// VariantBase/Opt2 run the paper's help() (Lines 36–47): every state
+// entry with a pending operation at phase ≤ ph is helped, which includes
+// the caller's own entry. VariantOpt1/Opt12 instead help at most
+// helpChunk other entries, advancing a per-thread cyclic cursor (§3.3),
+// and then drive the caller's own operation directly.
+func (q *Queue[T]) help(caller int, ph int64, enqueue bool) {
+	switch q.variant {
+	case VariantBase, VariantOpt2:
+		for i := range q.state { // Line 37
+			yield.At(yield.KPHelpScan, caller, i)
+			q.met.incScan(caller)
+			desc := q.state[i].p.Load() // Line 38
+			if stillPending(desc, ph) { // Line 39
+				if i != caller {
+					q.met.incHelp(caller)
+				}
+				if desc.enqueue {
+					q.helpEnq(caller, i, ph) // Line 41
+				} else {
+					q.helpDeq(caller, i, ph) // Line 43
+				}
+			}
+		}
+	default: // VariantOpt1, VariantOpt12
+		cur := &q.cursor[caller]
+		for k := 0; k < q.helpChunk; k++ {
+			var i int
+			if q.randomHelp {
+				// §3.3 alternative: a random candidate per slot,
+				// giving probabilistic wait-freedom.
+				i = int(cur.rng.Next() % uint64(q.nthreads))
+			} else {
+				i = cur.i
+				cur.i++
+				if cur.i >= q.nthreads {
+					cur.i = 0
+				}
+			}
+			if i == caller {
+				continue // own operation is driven below
+			}
+			yield.At(yield.KPHelpScan, caller, i)
+			q.met.incScan(caller)
+			desc := q.state[i].p.Load()
+			if stillPending(desc, ph) {
+				q.met.incHelp(caller)
+				if desc.enqueue {
+					q.helpEnq(caller, i, ph)
+				} else {
+					q.helpDeq(caller, i, ph)
+				}
+			}
+		}
+		// Complete the caller's own operation.
+		if enqueue {
+			q.helpEnq(caller, caller, ph)
+		} else {
+			q.helpDeq(caller, caller, ph)
+		}
+	}
+}
+
+// helpEnq drives the pending enqueue of thread tid until it linearizes —
+// the paper's help_enq(), Lines 67–84. caller is the helping thread
+// (used only for descriptor caching); ph is the helper's phase.
+func (q *Queue[T]) helpEnq(caller, tid int, ph int64) {
+	for {
+		yield.At(yield.KPEnqRetry, caller, tid)
+		if !q.isStillPending(tid, ph) { // Line 68
+			return
+		}
+		last := q.tailRef.Load()   // Line 69
+		next := last.next.Load()   // Line 70
+		if last != q.tailRef.Load() { // Line 71
+			continue
+		}
+		if next == nil { // Line 72: tail is the real last node; enqueue can be applied
+			// Line 73: the pending re-check MUST come after the
+			// last/next reads (fresh descriptor load). The paper
+			// warns that dropping it "will break the
+			// linearizability": a thread that verified pending
+			// before reading last could be suspended, resume
+			// after the operation completed and tail advanced to
+			// the new node N, observe last==N with N.next==nil,
+			// and re-append N after itself. Pending-after-the-
+			// last-read implies tail has not yet passed the
+			// node, which makes that self-append impossible.
+			desc := q.state[tid].p.Load()
+			if stillPending(desc, ph) { // Line 73
+				yield.At(yield.KPBeforeAppend, caller, tid)
+				if last.next.CompareAndSwap(nil, desc.node) { // Line 74
+					yield.At(yield.KPAfterAppend, caller, tid)
+					q.helpFinishEnq(caller) // Line 75
+					return                  // Line 76
+				}
+				q.met.incAppendFail(caller)
+			}
+		} else { // Line 79: some enqueue is in progress
+			q.helpFinishEnq(caller) // Line 80: help it first, then retry
+		}
+	}
+}
+
+// helpFinishEnq completes the enqueue-in-progress, if any: it flips the
+// owner's pending flag (step 2) and advances tail (step 3) — the paper's
+// help_finish_enq(), Lines 85–97.
+func (q *Queue[T]) helpFinishEnq(caller int) {
+	last := q.tailRef.Load() // Line 86
+	next := last.next.Load() // Line 87
+	if next == nil {         // Line 88
+		return
+	}
+	tid := int(next.enqTid) // Line 89: owner of the dangling node
+	if tid < 0 || tid >= q.nthreads {
+		// Unreachable for this queue's own nodes; guards against a
+		// foreign sentinel if callers misuse multiple queues.
+		return
+	}
+	curDesc := q.state[tid].p.Load()                            // Line 90
+	if last == q.tailRef.Load() && curDesc.node == next { // Line 91
+		// §3.3 validation enhancement: skip the completion CAS when
+		// another helper already flipped the pending flag; the tail
+		// fix below must still run.
+		if !q.validate || curDesc.pending {
+			// Line 92: new descriptor with pending switched off.
+			// Reading phase from curDesc (not a fresh load) is
+			// equivalent to the paper's code: if the entry changed
+			// since Line 90, the CAS below fails and the
+			// descriptor is discarded.
+			newDesc := q.newDesc(caller, curDesc.phase, false, true, next)
+			if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) { // Line 93
+				q.recycleDesc(caller, newDesc)
+				q.met.incDescFail(caller)
+			}
+		}
+		yield.At(yield.KPAfterStateCASEnq, caller, tid)
+		yield.At(yield.KPBeforeTailCAS, caller, tid)
+		if q.tailRef.CompareAndSwap(last, next) { // Line 94
+			q.met.incTailFix(caller)
+		}
+	}
+}
+
+// helpDeq drives the pending dequeue of thread tid until it linearizes —
+// the paper's help_deq(), Lines 109–140.
+func (q *Queue[T]) helpDeq(caller, tid int, ph int64) {
+	for {
+		yield.At(yield.KPDeqRetry, caller, tid)
+		if !q.isStillPending(tid, ph) { // Line 110
+			return
+		}
+		first := q.headRef.Load()  // Line 111
+		last := q.tailRef.Load()   // Line 112 (linearization point of deq-empty)
+		next := first.next.Load()  // Line 113
+		if first != q.headRef.Load() { // Line 114
+			continue
+		}
+		if first == last { // Line 115: queue might be empty
+			if next == nil { // Line 116: queue is empty
+				curDesc := q.state[tid].p.Load() // Line 117
+				if last == q.tailRef.Load() && stillPending(curDesc, ph) { // Line 118
+					// Lines 119–120: record the empty result
+					// in the owner's descriptor.
+					yield.At(yield.KPBeforeEmptyCAS, caller, tid)
+					newDesc := q.newDesc(caller, curDesc.phase, false, false, nil)
+					if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) {
+						q.recycleDesc(caller, newDesc)
+						q.met.incDescFail(caller)
+					}
+				}
+			} else { // Line 122: some enqueue is in progress
+				q.helpFinishEnq(caller) // Line 123: help it first, then retry
+			}
+		} else { // Line 125: queue is not empty
+			curDesc := q.state[tid].p.Load() // Line 126
+			node := curDesc.node             // Line 127
+			if !stillPending(curDesc, ph) {  // Line 128
+				return
+			}
+			if first == q.headRef.Load() && node != first { // Line 129
+				// Stage 1 (Lines 130–131): point the owner's
+				// descriptor at the current sentinel, so a
+				// helper seeing an empty queue and a helper
+				// seeing a non-empty queue cannot race on the
+				// owner's result.
+				newDesc := q.newDesc(caller, curDesc.phase, true, false, first)
+				if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) { // Line 131
+					q.recycleDesc(caller, newDesc)
+					q.met.incDescFail(caller)
+					continue // Line 132
+				}
+			}
+			// Stage 2 (Line 135): lock the sentinel — the
+			// linearization point of a successful dequeue.
+			yield.At(yield.KPBeforeDeqTidCAS, caller, tid)
+			if first.deqTid.CompareAndSwap(noTID, int32(tid)) {
+				yield.At(yield.KPAfterDeqTidCAS, caller, tid)
+			}
+			q.helpFinishDeq(caller) // Line 136
+		}
+	}
+}
+
+// helpFinishDeq completes the dequeue-in-progress owned by the thread
+// whose id is written in the sentinel: it flips the owner's pending flag
+// (step 2) and advances head (step 3) — the paper's help_finish_deq(),
+// Lines 141–153.
+func (q *Queue[T]) helpFinishDeq(caller int) {
+	first := q.headRef.Load()        // Line 142
+	next := first.next.Load()        // Line 143
+	tid := int(first.deqTid.Load()) // Line 144
+	if tid == noTIDInt {             // Line 145
+		return
+	}
+	if tid < 0 || tid >= q.nthreads {
+		return
+	}
+	curDesc := q.state[tid].p.Load()               // Line 146
+	if first == q.headRef.Load() && next != nil { // Line 147
+		// §3.3 validation enhancement: skip the Line 149 CAS when
+		// the descriptor is already completed.
+		if !q.validate || curDesc.pending {
+			// Lines 148–149: complete the owner's descriptor,
+			// keeping its node reference (the old sentinel,
+			// through which the dequeuer reads its return value).
+			newDesc := q.newDesc(caller, curDesc.phase, false, false, curDesc.node)
+			if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) {
+				q.recycleDesc(caller, newDesc)
+				q.met.incDescFail(caller)
+			}
+		}
+		yield.At(yield.KPAfterStateCASDeq, caller, tid)
+		yield.At(yield.KPBeforeHeadCAS, caller, tid)
+		if q.headRef.CompareAndSwap(first, next) { // Line 150
+			q.met.incHeadFix(caller)
+		}
+	}
+}
+
+// noTIDInt is noTID as an int for comparisons after widening.
+const noTIDInt = int(noTID)
+
+// Len counts the elements currently in the queue by walking the list from
+// head. It is a racy O(n) snapshot intended for tests and examples, not
+// for synchronization.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.headRef.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"wfq/internal/yield"
+)
+
+// parkVictimEnqueue publishes victim's pending enqueue and parks the
+// victim goroutine right before its own Line 74 CAS. It returns a resume
+// function and a channel closed when the victim's Enqueue returns.
+func parkVictimEnqueue(t *testing.T, q *Queue[int64], victim int, v int64) (resume func(), done <-chan struct{}) {
+	t.Helper()
+	parked := make(chan struct{})
+	resumeCh := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPBeforeAppend && caller == victim {
+			once.Do(func() {
+				close(parked)
+				<-resumeCh
+			})
+		}
+	})
+	doneCh := make(chan struct{})
+	go func() {
+		q.Enqueue(victim, v)
+		close(doneCh)
+	}()
+	<-parked
+	var resumeOnce sync.Once
+	return func() {
+		resumeOnce.Do(func() {
+			yield.Set(prev)
+			close(resumeCh)
+		})
+	}, doneCh
+}
+
+// TestOpt1CyclicHelpingBound verifies the wait-freedom bound §3.3 claims
+// for the help-one optimization: "a thread ti may delay a particular
+// operation of another thread tj only a limited number of times, after
+// which ti will help to complete tj's operation". With a cyclic cursor
+// over n entries and helpChunk=1, a single active thread must help a
+// parked peer within at most n of its own operations.
+func TestOpt1CyclicHelpingBound(t *testing.T) {
+	const n = 4
+	const victim = 0
+	const worker = 1
+	q := New[int64](n, WithVariant(VariantOpt1))
+
+	resume, done := parkVictimEnqueue(t, q, victim, 42)
+	defer resume()
+
+	// The worker performs exactly n operations; its cursor must pass
+	// index 0 within those, completing the victim's enqueue.
+	for i := 0; i < n; i++ {
+		q.Enqueue(worker, int64(100+i))
+	}
+	if q.isStillPending(victim, 1<<62) {
+		t.Fatalf("victim still pending after %d ops of a cyclic helper", n)
+	}
+	resume()
+	<-done
+	// The victim's 42 must be in the queue exactly once.
+	count := 0
+	for {
+		v, ok := q.Dequeue(worker)
+		if !ok {
+			break
+		}
+		if v == 42 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("victim's value present %d times", count)
+	}
+}
+
+// TestOpt1ChunkKHelpingBound: with helpChunk=k the bound tightens to
+// ceil(n/k) operations.
+func TestOpt1ChunkKHelpingBound(t *testing.T) {
+	const n = 6
+	const k = 3
+	q := New[int64](n, WithVariant(VariantOpt1), WithHelpChunk(k))
+	resume, done := parkVictimEnqueue(t, q, 0, 7)
+	defer resume()
+	opsNeeded := (n + k - 1) / k
+	for i := 0; i < opsNeeded; i++ {
+		q.Enqueue(1, int64(i))
+	}
+	if q.isStillPending(0, 1<<62) {
+		t.Fatalf("victim still pending after %d ops with chunk %d", opsNeeded, k)
+	}
+	resume()
+	<-done
+}
+
+// TestRandomHelpingEventuallyHelps: the probabilistic variant has no
+// deterministic bound, but a parked operation must be helped with
+// overwhelming probability within a modest number of peer operations
+// (P[miss in 400 draws] = (3/4)^400 ≈ 10^-50 for n=4).
+func TestRandomHelpingEventuallyHelps(t *testing.T) {
+	const n = 4
+	q := New[int64](n, WithVariant(VariantOpt12), WithRandomHelping())
+	resume, done := parkVictimEnqueue(t, q, 0, 9)
+	defer resume()
+	helped := false
+	for i := 0; i < 400; i++ {
+		q.Enqueue(1, int64(i))
+		if !q.isStillPending(0, 1<<62) {
+			helped = true
+			break
+		}
+	}
+	if !helped {
+		t.Fatal("random helping never reached the parked victim in 400 ops")
+	}
+	resume()
+	<-done
+}
+
+// TestBaseHelpsImmediately: the base variant helps everyone per
+// operation, so ONE peer operation suffices.
+func TestBaseHelpsImmediately(t *testing.T) {
+	q := New[int64](4)
+	resume, done := parkVictimEnqueue(t, q, 0, 5)
+	defer resume()
+	q.Enqueue(1, 1)
+	if q.isStillPending(0, 1<<62) {
+		t.Fatal("base variant did not help in one op")
+	}
+	resume()
+	<-done
+}
+
+// TestRandomHelpingStress: conservation under concurrency for the
+// probabilistic variant (the flavour table covers the deterministic
+// ones; this adds a dedicated heavier pass).
+func TestRandomHelpingStress(t *testing.T) {
+	const nthreads = 6
+	iters := stressSize(4000)
+	q := New[int64](nthreads, WithVariant(VariantOpt12), WithRandomHelping())
+	var wg sync.WaitGroup
+	deqOK := make([]int64, nthreads)
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q.Enqueue(tid, int64(tid)<<32|int64(i))
+				if _, ok := q.Dequeue(tid); ok {
+					deqOK[tid]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range deqOK {
+		total += c
+	}
+	rest := int64(0)
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		rest++
+	}
+	if total+rest != int64(nthreads*iters) {
+		t.Fatalf("conservation: ok=%d rest=%d want=%d", total, rest, nthreads*iters)
+	}
+}

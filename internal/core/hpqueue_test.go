@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfq/internal/xrand"
+)
+
+// TestHPNodesAreRecycled: with a hot enqueue/dequeue loop, the pool must
+// start serving recycled nodes — otherwise the HP plumbing is dead code.
+// The free lists are per thread (nodes recycle to the thread that retires
+// them, i.e. the dequeuer), so the loop runs both roles on one thread,
+// the shape of the paper's enqueue-dequeue-pairs workload.
+func TestHPNodesAreRecycled(t *testing.T) {
+	q := NewHP[int64](2, 64, 8)
+	for i := int64(0); i < 1000; i++ {
+		q.Enqueue(0, i)
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("(%d,%v), want %d", v, ok, i)
+		}
+	}
+	hits, misses, _ := q.PoolStats()
+	if hits == 0 {
+		t.Fatalf("pool never reused a node (hits=%d misses=%d)", hits, misses)
+	}
+	scans, freed := q.Domain().Stats()
+	if scans == 0 || freed == 0 {
+		t.Fatalf("hazard domain never reclaimed (scans=%d freed=%d)", scans, freed)
+	}
+	// Steady state must not allocate one node per op: reuse should
+	// dominate after warm-up.
+	if misses > 200 {
+		t.Fatalf("too many allocations for a reuse workload: %d", misses)
+	}
+}
+
+// TestHPValueIntegrityUnderRecycling is the §3.4 correctness core: values
+// read by dequeuers must never come from a node that was recycled and
+// overwritten. Values are globally unique, so any recycling bug surfaces
+// as a duplicate or an unknown value.
+func TestHPValueIntegrityUnderRecycling(t *testing.T) {
+	const nthreads = 8
+	perThread := stressSize(4000)
+	// Tiny pool + aggressive scan threshold maximize recycling churn.
+	q := NewHP[int64](nthreads, 16, 4)
+
+	var next atomic.Int64
+	var consumed sync.Map
+	var dups, unknown, deqOK atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(tid)*13 + 1)
+			for i := 0; i < perThread; i++ {
+				if rng.Bool() {
+					q.Enqueue(tid, next.Add(1))
+				} else if v, ok := q.Dequeue(tid); ok {
+					deqOK.Add(1)
+					if v <= 0 || v > next.Load() {
+						unknown.Add(1)
+					}
+					if _, dup := consumed.LoadOrStore(v, tid); dup {
+						dups.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		deqOK.Add(1)
+		if _, dup := consumed.LoadOrStore(v, -1); dup {
+			dups.Add(1)
+		}
+	}
+	if unknown.Load() != 0 {
+		t.Fatalf("%d values outside the issued range (recycled-node read?)", unknown.Load())
+	}
+	if dups.Load() != 0 {
+		t.Fatalf("%d duplicate values (ABA or double-apply)", dups.Load())
+	}
+	if deqOK.Load() != next.Load() {
+		t.Fatalf("consumed %d of %d issued values", deqOK.Load(), next.Load())
+	}
+}
+
+// TestHPEmptyAndRefill: empty-queue dequeues must carry no stale value
+// from a recycled descriptor or node.
+func TestHPEmptyAndRefill(t *testing.T) {
+	q := NewHP[int64](2, 8, 2)
+	for round := 0; round < 50; round++ {
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("round %d: empty dequeue returned %d", round, v)
+		}
+		q.Enqueue(1, int64(round))
+		v, ok := q.Dequeue(0)
+		if !ok || v != int64(round) {
+			t.Fatalf("round %d: (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+// TestHPDescriptorCarriesValue checks the §3.4 modification directly: the
+// completed dequeue descriptor holds the dequeued value, so the dequeuer
+// never needs the (possibly recycled) node.
+func TestHPDescriptorCarriesValue(t *testing.T) {
+	q := NewHP[int64](2, 0, 0)
+	q.Enqueue(0, 99)
+	if v, ok := q.Dequeue(1); !ok || v != 99 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	d := q.state[1].p.Load()
+	if !d.hasValue || d.value != 99 {
+		t.Fatalf("descriptor does not carry the value: %+v", d)
+	}
+	// And the empty case leaves hasValue false.
+	q.Dequeue(1)
+	if d := q.state[1].p.Load(); d.hasValue || d.node != nil {
+		t.Fatalf("empty dequeue descriptor: %+v", d)
+	}
+}
+
+// TestHPBoundedGarbage: with all threads quiescent and the queue drained,
+// a forced scan on every thread reclaims everything but at most the
+// hazard-protected handful; the pool+retired population stays bounded.
+func TestHPBoundedGarbage(t *testing.T) {
+	const nthreads = 4
+	q := NewHP[int64](nthreads, 1024, 8)
+	for i := 0; i < 2000; i++ {
+		q.Enqueue(0, int64(i))
+	}
+	for {
+		if _, ok := q.Dequeue(1); !ok {
+			break
+		}
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		q.Domain().ClearAll(tid)
+		q.Domain().Scan(tid)
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		if c := q.Domain().RetiredCount(tid); c > 2*hpSlots*nthreads {
+			t.Fatalf("thread %d retired list still holds %d nodes", tid, c)
+		}
+	}
+}
+
+func BenchmarkHPQueuePairs(b *testing.B) {
+	q := NewHP[int64](1, 0, 0)
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(0, int64(i))
+		q.Dequeue(0)
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfq/internal/yield"
+)
+
+// TestLemma1StepOneExactlyOnce machine-checks the "exactly once" half of
+// Lemma 1 for step (1): across a concurrent run, the number of successful
+// append CASes (Line 74) attributed to each thread equals the number of
+// enqueue operations that thread invoked — no enqueue is applied twice,
+// none is lost, regardless of how many helpers raced to apply it.
+func TestLemma1StepOneExactlyOnce(t *testing.T) {
+	const nthreads = 6
+	perThread := stressSize(3000)
+
+	appends := make([]atomic.Int64, nthreads)
+	prev := yield.Set(func(p yield.Point, _, owner int) {
+		if p == yield.KPAfterAppend && owner >= 0 {
+			appends[owner].Add(1)
+		}
+	})
+	defer yield.Set(prev)
+
+	q := New[int64](nthreads) // base variant: maximal helping traffic
+	var wg sync.WaitGroup
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				q.Enqueue(tid, int64(tid)<<32|int64(i))
+				q.Dequeue(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for tid := range appends {
+		if got := appends[tid].Load(); got != int64(perThread) {
+			t.Fatalf("thread %d: %d successful appends for %d enqueues", tid, got, perThread)
+		}
+	}
+}
+
+// TestLemma2StepOneExactlyOnce is the dequeue counterpart: successful
+// deqTid CASes (Line 135) per owner equal that owner's successful
+// dequeues. Unsuccessful (empty) dequeues never lock a sentinel.
+func TestLemma2StepOneExactlyOnce(t *testing.T) {
+	const nthreads = 6
+	perThread := stressSize(3000)
+
+	locks := make([]atomic.Int64, nthreads)
+	prev := yield.Set(func(p yield.Point, _, owner int) {
+		if p == yield.KPAfterDeqTidCAS && owner >= 0 {
+			locks[owner].Add(1)
+		}
+	})
+	defer yield.Set(prev)
+
+	q := New[int64](nthreads)
+	okDeqs := make([]atomic.Int64, nthreads)
+	var wg sync.WaitGroup
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				q.Enqueue(tid, 1)
+				if _, ok := q.Dequeue(tid); ok {
+					okDeqs[tid].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain on thread 0 so every locked sentinel belongs to a counted op.
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		okDeqs[0].Add(1)
+	}
+	for tid := range locks {
+		if got, want := locks[tid].Load(), okDeqs[tid].Load(); got != want {
+			t.Fatalf("thread %d: %d sentinel locks for %d successful dequeues", tid, got, want)
+		}
+	}
+}
+
+// TestHelpersCompleteParkedEnqueue is the wait-freedom mechanism in
+// isolation: a thread that publishes its enqueue descriptor and then
+// stalls forever (simulated preemption before its own Line 74 CAS) still
+// gets its value into the queue, applied by helpers running their own
+// operations.
+func TestHelpersCompleteParkedEnqueue(t *testing.T) {
+	const victim = 0
+	q := New[int64](3) // base: everyone helps
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPBeforeAppend && caller == victim {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	victimDone := make(chan struct{})
+	go func() {
+		q.Enqueue(victim, 42)
+		close(victimDone)
+	}()
+	<-parked
+
+	// While the victim is parked inside its own operation, another
+	// thread's op must find and complete it.
+	got := make(chan int64, 1)
+	go func() {
+		for {
+			if v, ok := q.Dequeue(1); ok {
+				got <- v
+				return
+			}
+		}
+	}()
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("helper dequeued %d, want the victim's 42", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("helping never completed the parked enqueue")
+	}
+	close(resume)
+	select {
+	case <-victimDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim did not return after resume")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue length %d, want 0 (no double-apply)", q.Len())
+	}
+}
+
+// TestHelpersCompleteParkedDequeue: the dequeue counterpart. The victim
+// parks before its own Line 135 CAS; a helper must linearize the dequeue
+// on its behalf, and the victim must return the helped value on resume.
+func TestHelpersCompleteParkedDequeue(t *testing.T) {
+	const victim = 0
+	q := New[int64](3)
+	q.Enqueue(1, 7)
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPBeforeDeqTidCAS && caller == victim {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	victimGot := make(chan int64, 1)
+	go func() {
+		v, ok := q.Dequeue(victim)
+		if !ok {
+			v = -1
+		}
+		victimGot <- v
+	}()
+	<-parked
+
+	// A helper operation completes the victim's dequeue: after it, the
+	// victim's descriptor must be non-pending. Run an enqueue on
+	// another thread, whose help() pass covers the victim.
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(1, 8)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("helper op did not complete")
+	}
+	if q.isStillPending(victim, 1<<62) {
+		t.Fatal("victim's dequeue still pending after a full help pass")
+	}
+	close(resume)
+	select {
+	case v := <-victimGot:
+		if v != 7 {
+			t.Fatalf("victim's dequeue returned %d, want 7", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim did not return after resume")
+	}
+	// The helped dequeue removed exactly one element; 8 remains.
+	if v, ok := q.Dequeue(2); !ok || v != 8 {
+		t.Fatalf("remaining element: (%d,%v), want 8", v, ok)
+	}
+}
+
+// TestLine93Line94SuspensionWindow reproduces the §3.2 argument for why
+// enq() must call help_finish_enq (Line 65): a helper that completed the
+// descriptor CAS (Line 93) and stalled before the tail CAS (Line 94) must
+// not block subsequent enqueues — the owner (or anyone) fixes tail itself.
+func TestLine93Line94SuspensionWindow(t *testing.T) {
+	const owner = 0
+	const helper = 1
+	q := New[int64](2)
+
+	// Step 1: park the owner right after its append CAS so the node is
+	// linked but nothing else has happened.
+	ownerParked := make(chan struct{})
+	ownerResume := make(chan struct{})
+	var ownerOnce sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPAfterAppend && caller == owner {
+			ownerOnce.Do(func() {
+				close(ownerParked)
+				<-ownerResume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	ownerDone := make(chan struct{})
+	go func() {
+		q.Enqueue(owner, 1)
+		close(ownerDone)
+	}()
+	<-ownerParked
+
+	// Step 2: the helper thread performs a dequeue; it finds the
+	// dangling node, completes the owner's descriptor (Line 93), and
+	// parks before the tail CAS (Line 94).
+	helperParked := make(chan struct{})
+	helperResume := make(chan struct{})
+	var helperOnce sync.Once
+	yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPBeforeTailCAS && caller == helper {
+			helperOnce.Do(func() {
+				close(helperParked)
+				<-helperResume
+			})
+		}
+	})
+	helperGot := make(chan int64, 1)
+	go func() {
+		v, _ := q.Dequeue(helper)
+		helperGot <- v
+	}()
+	<-helperParked
+
+	// Step 3: resume the owner. Its enq() epilogue (Line 65) must fix
+	// the tail so this and FURTHER enqueues complete even though the
+	// helper is still parked holding the Line 93/94 window open.
+	close(ownerResume)
+	select {
+	case <-ownerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("owner never returned: tail stayed broken (missing Line 65?)")
+	}
+	done2 := make(chan struct{})
+	go func() {
+		q.Enqueue(owner, 2)
+		close(done2)
+	}()
+	select {
+	case <-done2:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subsequent enqueue blocked by parked helper")
+	}
+
+	// Step 4: release the helper; its stale tail CAS must fail
+	// harmlessly and its dequeue must have gotten value 1.
+	close(helperResume)
+	select {
+	case v := <-helperGot:
+		if v != 1 {
+			t.Fatalf("helper dequeued %d, want 1", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("helper never returned")
+	}
+	if v, ok := q.Dequeue(owner); !ok || v != 2 {
+		t.Fatalf("final state: (%d,%v), want 2", v, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue length %d, want 0", q.Len())
+	}
+}
+
+// TestPreemptionStorm injects scheduler yields at every instrumented point
+// (a crude model of the paper's "OS configuration" effects) and checks
+// full conservation still holds for every variant.
+func TestPreemptionStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preemption storm is slow under -short")
+	}
+	prev := yield.Set(func(_ yield.Point, _, _ int) {
+		// Force maximal interleaving churn.
+		runtime.Gosched()
+	})
+	defer yield.Set(prev)
+
+	for _, f := range flavours() {
+		t.Run(f.name, func(t *testing.T) {
+			const nthreads = 4
+			const perThread = 300
+			q := f.make(nthreads)
+			var wg sync.WaitGroup
+			var deqOK atomic.Int64
+			for w := 0; w < nthreads; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < perThread; i++ {
+						q.Enqueue(tid, int64(tid)<<32|int64(i))
+						if _, ok := q.Dequeue(tid); ok {
+							deqOK.Add(1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			rest := int64(0)
+			for {
+				if _, ok := q.Dequeue(0); !ok {
+					break
+				}
+				rest++
+			}
+			if deqOK.Load()+rest != nthreads*perThread {
+				t.Fatalf("conservation violated: ok=%d rest=%d", deqOK.Load(), rest)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import "sync/atomic"
+
+// Metrics counts the algorithm's internal events, per thread, when the
+// queue is built with WithMetrics. The counters quantify the §3.3/§4
+// discussion directly: the paper attributes the base version's slowdown
+// to "scenarios in which all threads try to help the same (or a few)
+// thread(s), wasting the total processing time" — visible here as a high
+// HelpsGiven/OpsStarted ratio and a high AppendCASFailures count — and
+// credits optimization 1 with removing that herd.
+//
+// All counters are monotone and safe to read concurrently; reads are
+// racy snapshots (the usual fate of statistics).
+type Metrics struct {
+	counters []metricCounters
+}
+
+// metricCounters is one thread's padded counter block.
+type metricCounters struct {
+	// OpsStarted counts Enqueue+Dequeue invocations by this thread.
+	opsStarted atomic.Int64
+	// HelpScans counts state-array entries inspected in help().
+	helpScans atomic.Int64
+	// HelpsGiven counts help_enq/help_deq calls for ANOTHER thread's
+	// operation.
+	helpsGiven atomic.Int64
+	// AppendCASFailures counts failed Line 74 CASes (lost append races).
+	appendCASFailures atomic.Int64
+	// DescCASFailures counts failed descriptor CASes (Lines 93, 120,
+	// 131, 149) executed by this thread.
+	descCASFailures atomic.Int64
+	// TailFixes / HeadFixes count successful Line 94 / Line 150 CASes.
+	tailFixes atomic.Int64
+	headFixes atomic.Int64
+	_         [8]byte // round the struct up to whole cache lines
+}
+
+// newMetrics allocates counter blocks for nthreads threads.
+func newMetrics(nthreads int) *Metrics {
+	return &Metrics{counters: make([]metricCounters, nthreads)}
+}
+
+// Snapshot is an immutable copy of one thread's counters.
+type Snapshot struct {
+	OpsStarted        int64
+	HelpScans         int64
+	HelpsGiven        int64
+	AppendCASFailures int64
+	DescCASFailures   int64
+	TailFixes         int64
+	HeadFixes         int64
+}
+
+// Thread returns a snapshot of thread tid's counters.
+func (m *Metrics) Thread(tid int) Snapshot {
+	c := &m.counters[tid]
+	return Snapshot{
+		OpsStarted:        c.opsStarted.Load(),
+		HelpScans:         c.helpScans.Load(),
+		HelpsGiven:        c.helpsGiven.Load(),
+		AppendCASFailures: c.appendCASFailures.Load(),
+		DescCASFailures:   c.descCASFailures.Load(),
+		TailFixes:         c.tailFixes.Load(),
+		HeadFixes:         c.headFixes.Load(),
+	}
+}
+
+// Total sums all threads' counters.
+func (m *Metrics) Total() Snapshot {
+	var t Snapshot
+	for i := range m.counters {
+		s := m.Thread(i)
+		t.OpsStarted += s.OpsStarted
+		t.HelpScans += s.HelpScans
+		t.HelpsGiven += s.HelpsGiven
+		t.AppendCASFailures += s.AppendCASFailures
+		t.DescCASFailures += s.DescCASFailures
+		t.TailFixes += s.TailFixes
+		t.HeadFixes += s.HeadFixes
+	}
+	return t
+}
+
+// The increment helpers compile to nothing when metrics are disabled
+// (m == nil), keeping the measured hot path identical to the unmetered
+// queue up to one predictable nil check per site.
+
+func (m *Metrics) incOp(tid int) {
+	if m != nil {
+		m.counters[tid].opsStarted.Add(1)
+	}
+}
+func (m *Metrics) incScan(tid int) {
+	if m != nil {
+		m.counters[tid].helpScans.Add(1)
+	}
+}
+func (m *Metrics) incHelp(tid int) {
+	if m != nil {
+		m.counters[tid].helpsGiven.Add(1)
+	}
+}
+func (m *Metrics) incAppendFail(tid int) {
+	if m != nil {
+		m.counters[tid].appendCASFailures.Add(1)
+	}
+}
+func (m *Metrics) incDescFail(tid int) {
+	if m != nil {
+		m.counters[tid].descCASFailures.Add(1)
+	}
+}
+func (m *Metrics) incTailFix(tid int) {
+	if m != nil {
+		m.counters[tid].tailFixes.Add(1)
+	}
+}
+func (m *Metrics) incHeadFix(tid int) {
+	if m != nil {
+		m.counters[tid].headFixes.Add(1)
+	}
+}

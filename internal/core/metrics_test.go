@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMetricsNilSafe(t *testing.T) {
+	q := New[int64](2) // no WithMetrics
+	if q.Metrics() != nil {
+		t.Fatal("metrics present without option")
+	}
+	// Operations must work with the nil *Metrics receiver.
+	q.Enqueue(0, 1)
+	if v, ok := q.Dequeue(1); !ok || v != 1 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+}
+
+func TestMetricsSequentialCounts(t *testing.T) {
+	q := New[int64](2, WithMetrics())
+	m := q.Metrics()
+	if m == nil {
+		t.Fatal("no metrics")
+	}
+	const ops = 50
+	for i := 0; i < ops; i++ {
+		q.Enqueue(0, int64(i))
+	}
+	for i := 0; i < ops; i++ {
+		q.Dequeue(1)
+	}
+	t0, t1 := m.Thread(0), m.Thread(1)
+	if t0.OpsStarted != ops || t1.OpsStarted != ops {
+		t.Fatalf("ops: %d/%d", t0.OpsStarted, t1.OpsStarted)
+	}
+	total := m.Total()
+	if total.OpsStarted != 2*ops {
+		t.Fatalf("total ops %d", total.OpsStarted)
+	}
+	// Sequential run: every op fixes its own tail/head exactly once
+	// and no CAS ever fails.
+	if total.TailFixes != ops || total.HeadFixes != ops {
+		t.Fatalf("fixes: tail=%d head=%d, want %d each", total.TailFixes, total.HeadFixes, ops)
+	}
+	if total.AppendCASFailures != 0 || total.DescCASFailures != 0 {
+		t.Fatalf("sequential CAS failures: append=%d desc=%d",
+			total.AppendCASFailures, total.DescCASFailures)
+	}
+	// Base variant scans the whole state array (2 entries) per op.
+	if total.HelpScans != 2*2*ops {
+		t.Fatalf("scans %d, want %d", total.HelpScans, 2*2*ops)
+	}
+	// No other thread ever had a pending op during a scan.
+	if total.HelpsGiven != 0 {
+		t.Fatalf("sequential helps %d", total.HelpsGiven)
+	}
+}
+
+// TestMetricsHelpHerding measures the §4 explanation for optimization 1:
+// under contention the base variant generates far more helping traffic
+// per operation than help-one.
+func TestMetricsHelpHerding(t *testing.T) {
+	const nthreads = 6
+	iters := stressSize(3000)
+	run := func(variant Variant) Snapshot {
+		q := New[int64](nthreads, WithVariant(variant), WithMetrics())
+		var wg sync.WaitGroup
+		for w := 0; w < nthreads; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					q.Enqueue(tid, int64(i))
+					q.Dequeue(tid)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return q.Metrics().Total()
+	}
+	base := run(VariantBase)
+	opt1 := run(VariantOpt1)
+	baseRate := float64(base.HelpScans) / float64(base.OpsStarted)
+	opt1Rate := float64(opt1.HelpScans) / float64(opt1.OpsStarted)
+	t.Logf("scans/op: base=%.2f opt1=%.2f; helps/op: base=%.3f opt1=%.3f",
+		baseRate, opt1Rate,
+		float64(base.HelpsGiven)/float64(base.OpsStarted),
+		float64(opt1.HelpsGiven)/float64(opt1.OpsStarted))
+	// base scans n entries per op; opt1 scans at most 1.
+	if baseRate < float64(nthreads)-0.01 {
+		t.Fatalf("base scan rate %.2f below n=%d", baseRate, nthreads)
+	}
+	if opt1Rate > 1.01 {
+		t.Fatalf("opt1 scan rate %.2f above its k=1 bound", opt1Rate)
+	}
+}
+
+// TestMetricsStepsExactlyOnceView: the Lemma 1/2 counters seen through
+// metrics — total successful tail fixes equals total enqueues, head
+// fixes equal successful dequeues.
+func TestMetricsStepsExactlyOnceView(t *testing.T) {
+	const nthreads = 4
+	iters := stressSize(3000)
+	q := New[int64](nthreads, WithMetrics())
+	var wg sync.WaitGroup
+	okCount := make([]int64, nthreads)
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q.Enqueue(tid, int64(i))
+				if _, ok := q.Dequeue(tid); ok {
+					okCount[tid]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var okTotal int64
+	for _, c := range okCount {
+		okTotal += c
+	}
+	rest := int64(0)
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		rest++
+		okTotal++
+	}
+	total := q.Metrics().Total()
+	enqs := int64(nthreads * iters)
+	if total.TailFixes != enqs {
+		t.Fatalf("tail fixes %d, want %d (one per enqueue)", total.TailFixes, enqs)
+	}
+	if total.HeadFixes != okTotal {
+		t.Fatalf("head fixes %d, want %d (one per successful dequeue)", total.HeadFixes, okTotal)
+	}
+	_ = rest
+}

@@ -1,0 +1,71 @@
+package core
+
+import "sync/atomic"
+
+// noTID is the sentinel thread id stored in deqTid while no dequeue has
+// claimed the node, and in enqTid of the initial sentinel node (the paper
+// initializes both to -1).
+const noTID int32 = -1
+
+// node is an element of the underlying singly-linked list — the paper's
+// Node class (Figure 1, Lines 1–12).
+type node[T any] struct {
+	// value is the enqueued element.
+	value T
+	// next links toward the tail; written once per residence in the
+	// list (by the Line 74 CAS) and never reset while the node is
+	// reachable.
+	next atomic.Pointer[node[T]]
+	// enqTid identifies the thread whose enqueue inserted this node.
+	// Written by exactly one thread before the node is published, read
+	// by helpers to find the owner's descriptor (Line 89), so a plain
+	// field suffices — same reasoning as the paper's non-atomic field.
+	enqTid int32
+	// deqTid identifies the thread whose dequeue removes the node that
+	// FOLLOWS this one; claimed by CAS (Line 135) while this node is
+	// the sentinel. Multiple helpers race on it, hence atomic.
+	deqTid atomic.Int32
+}
+
+// newNode builds a fresh node owned by enqTid. The zero next pointer and
+// the -1 deqTid match the paper's constructor.
+func newNode[T any](v T, enqTid int32) *node[T] {
+	n := &node[T]{value: v, enqTid: enqTid}
+	n.deqTid.Store(noTID)
+	return n
+}
+
+// reset reinitializes a recycled node for reuse by the hazard-pointer
+// variant. The caller must own the node exclusively (it came from a
+// per-thread pool after a hazard scan proved it unreachable).
+func (n *node[T]) reset(v T, enqTid int32) {
+	n.value = v
+	n.next.Store(nil)
+	n.enqTid = enqTid
+	n.deqTid.Store(noTID)
+}
+
+// opDesc is an immutable operation descriptor — the paper's OpDesc class
+// (Figure 1, Lines 13–24). Descriptors are replaced, never mutated, so a
+// pointer CAS on a state entry atomically replaces the whole record, just
+// like Java's AtomicReferenceArray<OpDesc>.
+type opDesc[T any] struct {
+	// phase is the operation's Bakery-style priority; smaller is older.
+	phase int64
+	// pending is true from the descriptor's publication until the
+	// operation's step (2) marks it linearized-and-recorded.
+	pending bool
+	// enqueue distinguishes the operation type.
+	enqueue bool
+	// node is operation-specific: for an enqueue, the node to insert;
+	// for a dequeue, the sentinel node preceding the dequeued value
+	// (nil while unset, and nil in the final descriptor of a dequeue
+	// that observed an empty queue).
+	node *node[T]
+	// value is the §3.4 extension used only by HPQueue: the dequeued
+	// value is copied here by help_finish_deq so the dequeuer never
+	// dereferences node after it may have been retired and recycled.
+	value T
+	// hasValue marks value as meaningful (HPQueue dequeues only).
+	hasValue bool
+}

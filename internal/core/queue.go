@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wfq/internal/phase"
+	"wfq/internal/xrand"
+)
+
+// Variant selects which flavour of the algorithm a Queue runs.
+type Variant int
+
+// Algorithm variants, matching the series of the paper's figures.
+const (
+	// VariantBase is the base algorithm of §3.2: maxPhase() scan and
+	// help-everyone traversal of the state array.
+	VariantBase Variant = iota
+	// VariantOpt1 helps at most one other thread per operation, chosen
+	// cyclically (optimization 1 of §3.3).
+	VariantOpt1
+	// VariantOpt2 draws phases from a CAS-bumped shared counter
+	// (optimization 2 of §3.3) but keeps help-everyone.
+	VariantOpt2
+	// VariantOpt12 combines both optimizations — the "opt WF (1+2)"
+	// series of Figures 7–9.
+	VariantOpt12
+)
+
+// String names the variant as the paper's figures do.
+func (v Variant) String() string {
+	switch v {
+	case VariantBase:
+		return "base WF"
+	case VariantOpt1:
+		return "opt WF (1)"
+	case VariantOpt2:
+		return "opt WF (2)"
+	case VariantOpt12:
+		return "opt WF (1+2)"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Option configures a Queue beyond its Variant.
+type Option func(*config)
+
+type config struct {
+	variant     Variant
+	helpChunk   int
+	randomHelp  bool
+	clearOnExit bool
+	descCache   bool
+	metrics     bool
+	validate    bool
+	phases      phase.Provider
+}
+
+// WithVariant selects the algorithm variant (default VariantBase).
+func WithVariant(v Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithHelpChunk sets k, the number of state-array entries a VariantOpt1/
+// VariantOpt12 operation examines for helping (§3.3 allows any 1 ≤ k < n;
+// the paper's evaluation uses k = 1, the default).
+func WithHelpChunk(k int) Option { return func(c *config) { c.helpChunk = k } }
+
+// WithRandomHelping makes VariantOpt1/VariantOpt12 pick helping
+// candidates at random instead of cyclically — the §3.3 alternative:
+// "each thread might traverse a random chunk of the array, achieving
+// probabilistic wait-freedom". Each thread draws from its own seeded
+// splitmix64 stream, so runs remain reproducible.
+func WithRandomHelping() Option { return func(c *config) { c.randomHelp = true } }
+
+// WithValidationChecks enables the third §3.3 enhancement: "we might
+// check whether the pending flag is already switched off before applying
+// CAS in Lines 93 or 149". When another helper already completed the
+// descriptor, the (costly) CAS and its descriptor allocation are skipped;
+// the tail/head fix still runs. The paper notes such checks "might be
+// helpful in performance tuning" but omits them for presentation
+// clarity; BenchmarkValidationChecks prices them.
+func WithValidationChecks() Option { return func(c *config) { c.validate = true } }
+
+// WithMetrics attaches per-thread event counters (help traffic, CAS
+// failures, tail/head fixes) readable through Queue.Metrics. Used by the
+// help-traffic experiments; costs one nil-check per counted event when
+// disabled and one atomic add when enabled.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
+// WithClearOnExit enables the §3.3 enhancement that installs a dummy
+// descriptor (node = nil) when an operation returns, so a finished
+// thread's state entry does not keep a dequeued node live for the GC.
+func WithClearOnExit() Option { return func(c *config) { c.clearOnExit = true } }
+
+// WithDescriptorCache enables the §3.3 enhancement that reuses descriptor
+// allocations whose install-CAS failed. Only never-published descriptors
+// are cached, so descriptor pointers can never repeat at a state entry
+// (which would reintroduce ABA on the state CASes).
+func WithDescriptorCache() Option { return func(c *config) { c.descCache = true } }
+
+// WithPhaseProvider overrides the phase source used by VariantOpt2 and
+// VariantOpt12 (default: the paper's CAS counter; phase.NewFAA is the
+// fetch-and-add alternative §3.3 mentions).
+func WithPhaseProvider(p phase.Provider) Option { return func(c *config) { c.phases = p } }
+
+// paddedDesc keeps each thread's state entry on its own cache line; the
+// entries are the hottest CAS targets in the algorithm.
+type paddedDesc[T any] struct {
+	p atomic.Pointer[opDesc[T]]
+	_ [56]byte
+}
+
+// paddedCursor is a per-thread helping cursor for VariantOpt1/Opt12.
+// With WithRandomHelping, rng replaces the cyclic index.
+type paddedCursor struct {
+	i   int
+	rng xrand.SplitMix64
+	_   [40]byte
+}
+
+// descCacheSlot holds one reusable, never-published descriptor per thread.
+type descCacheSlot[T any] struct {
+	d *opDesc[T]
+	_ [56]byte
+}
+
+// Queue is the Kogan–Petrank wait-free MPMC FIFO queue. Create one with
+// New; all methods are safe for concurrent use by up to NumThreads()
+// threads with distinct tids.
+type Queue[T any] struct {
+	headRef atomic.Pointer[node[T]]
+	_       [56]byte
+	tailRef atomic.Pointer[node[T]]
+	_       [56]byte
+	// state is the per-thread operation-descriptor array (Line 26).
+	state []paddedDesc[T]
+	// cursor drives cyclic help-one candidate selection (VariantOpt1).
+	cursor []paddedCursor
+	// cache holds reusable failed-CAS descriptors (WithDescriptorCache).
+	cache []descCacheSlot[T]
+
+	nthreads    int
+	variant     Variant
+	helpChunk   int
+	randomHelp  bool
+	clearOnExit bool
+	useCache    bool
+	validate    bool
+	// met is non-nil when WithMetrics is set.
+	met *Metrics
+	// phases is non-nil for VariantOpt2/Opt12.
+	phases phase.Provider
+}
+
+// New creates a queue for up to nthreads concurrent threads (the paper's
+// NUM_THRDS — an upper bound, not necessarily tight).
+func New[T any](nthreads int, opts ...Option) *Queue[T] {
+	if nthreads <= 0 {
+		panic("core: nthreads must be positive")
+	}
+	cfg := config{helpChunk: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.helpChunk < 1 || cfg.helpChunk >= nthreads {
+		// §3.3 requires 1 <= k < n; clamp rather than reject so a
+		// 1-thread queue still constructs.
+		if cfg.helpChunk < 1 {
+			cfg.helpChunk = 1
+		} else {
+			cfg.helpChunk = max(1, nthreads-1)
+		}
+	}
+	q := &Queue[T]{
+		state:       make([]paddedDesc[T], nthreads),
+		cursor:      make([]paddedCursor, nthreads),
+		nthreads:    nthreads,
+		variant:     cfg.variant,
+		helpChunk:   cfg.helpChunk,
+		randomHelp:  cfg.randomHelp,
+		clearOnExit: cfg.clearOnExit,
+		useCache:    cfg.descCache,
+		validate:    cfg.validate,
+	}
+	for i := range q.cursor {
+		q.cursor[i].rng = *xrand.NewSplitMix64(uint64(i) + 1)
+	}
+	if cfg.metrics {
+		q.met = newMetrics(nthreads)
+	}
+	if cfg.descCache {
+		q.cache = make([]descCacheSlot[T], nthreads)
+	}
+	if cfg.variant == VariantOpt2 || cfg.variant == VariantOpt12 {
+		q.phases = cfg.phases
+		if q.phases == nil {
+			q.phases = phase.NewCAS()
+		}
+	}
+	// Constructor, Lines 27–35: one sentinel node; every state entry
+	// starts with a non-pending descriptor at phase -1.
+	var zero T
+	sentinel := newNode(zero, noTID)
+	q.headRef.Store(sentinel)
+	q.tailRef.Store(sentinel)
+	for i := range q.state {
+		q.state[i].p.Store(&opDesc[T]{phase: -1, pending: false, enqueue: true})
+	}
+	return q
+}
+
+// NumThreads reports the queue's thread capacity.
+func (q *Queue[T]) NumThreads() int { return q.nthreads }
+
+// Metrics returns the event counters, or nil unless the queue was built
+// with WithMetrics.
+func (q *Queue[T]) Metrics() *Metrics { return q.met }
+
+// VariantOf reports the configured algorithm variant.
+func (q *Queue[T]) VariantOf() Variant { return q.variant }
+
+// Name implements the harness's Named interface.
+func (q *Queue[T]) Name() string { return q.variant.String() }
+
+func (q *Queue[T]) checkTid(tid int) {
+	if tid < 0 || tid >= q.nthreads {
+		panic(fmt.Sprintf("core: tid %d out of range [0,%d)", tid, q.nthreads))
+	}
+}
+
+// maxPhase scans the state array for the largest published phase —
+// Lines 48–57.
+func (q *Queue[T]) maxPhase() int64 {
+	maxPh := int64(-1)
+	for i := range q.state {
+		if ph := q.state[i].p.Load().phase; ph > maxPh {
+			maxPh = ph
+		}
+	}
+	return maxPh
+}
+
+// nextPhase chooses the phase for a new operation: maxPhase()+1 for the
+// scan-based variants (Line 62/99), or a counter bump for Opt2/Opt12.
+func (q *Queue[T]) nextPhase() int64 {
+	if q.phases != nil {
+		return q.phases.Next()
+	}
+	return q.maxPhase() + 1
+}
+
+// isStillPending reports whether thread tid has a pending operation at a
+// phase not exceeding ph — Lines 58–60.
+func (q *Queue[T]) isStillPending(tid int, ph int64) bool {
+	d := q.state[tid].p.Load()
+	return d.pending && d.phase <= ph
+}
+
+// stillPending is the snapshot form used where the caller already loaded
+// the descriptor and must act on that exact version.
+func stillPending[T any](d *opDesc[T], ph int64) bool {
+	return d.pending && d.phase <= ph
+}
+
+// newDesc allocates a descriptor, reusing caller's cached never-published
+// descriptor when the cache enhancement is on.
+func (q *Queue[T]) newDesc(caller int, ph int64, pending, enqueue bool, n *node[T]) *opDesc[T] {
+	if q.useCache {
+		if d := q.cache[caller].d; d != nil {
+			q.cache[caller].d = nil
+			d.phase, d.pending, d.enqueue, d.node = ph, pending, enqueue, n
+			var zero T
+			d.value, d.hasValue = zero, false
+			return d
+		}
+	}
+	return &opDesc[T]{phase: ph, pending: pending, enqueue: enqueue, node: n}
+}
+
+// recycleDesc returns a descriptor whose install-CAS failed (and which was
+// therefore never visible to any other thread) to caller's cache slot.
+func (q *Queue[T]) recycleDesc(caller int, d *opDesc[T]) {
+	if q.useCache {
+		q.cache[caller].d = d
+	}
+}

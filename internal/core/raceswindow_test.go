@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wfq/internal/yield"
+)
+
+// TestLine149Line150SuspensionWindow is the dequeue-side mirror of the
+// Line 93/94 test: a helper that completed the owner's descriptor
+// (Line 149) and stalled before the head CAS (Line 150) must not block
+// the owner or subsequent dequeues — anyone can fix head.
+func TestLine149Line150SuspensionWindow(t *testing.T) {
+	const owner = 0
+	const helper = 1
+	q := New[int64](2)
+	q.Enqueue(1, 10)
+	q.Enqueue(1, 20)
+
+	// Step 1: park the owner immediately after it locks the sentinel
+	// (successful Line 135 CAS), before any completion runs.
+	ownerParked := make(chan struct{})
+	ownerResume := make(chan struct{})
+	var ownerOnce sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPAfterDeqTidCAS && caller == owner {
+			ownerOnce.Do(func() {
+				close(ownerParked)
+				<-ownerResume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	ownerGot := make(chan int64, 1)
+	go func() {
+		v, _ := q.Dequeue(owner)
+		ownerGot <- v
+	}()
+	<-ownerParked
+
+	// Step 2: the helper performs an enqueue; its help pass completes
+	// the owner's descriptor (Line 149) and parks before the head CAS
+	// (Line 150).
+	helperParked := make(chan struct{})
+	helperResume := make(chan struct{})
+	var helperOnce sync.Once
+	yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPBeforeHeadCAS && caller == helper {
+			helperOnce.Do(func() {
+				close(helperParked)
+				<-helperResume
+			})
+		}
+	})
+	helperDone := make(chan struct{})
+	go func() {
+		q.Enqueue(helper, 30)
+		close(helperDone)
+	}()
+	<-helperParked
+
+	// Step 3: resume the owner. Its deq() epilogue (Line 102) must fix
+	// head itself; the owner returns 10 and the queue keeps working
+	// while the helper is still parked in the Line 149/150 window.
+	close(ownerResume)
+	select {
+	case v := <-ownerGot:
+		if v != 10 {
+			t.Fatalf("owner dequeued %d, want 10", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("owner never returned: head stayed broken (missing Line 102?)")
+	}
+	done2 := make(chan int64, 1)
+	go func() {
+		v, _ := q.Dequeue(owner)
+		done2 <- v
+	}()
+	select {
+	case v := <-done2:
+		if v != 20 {
+			t.Fatalf("second dequeue got %d, want 20", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subsequent dequeue blocked by parked helper")
+	}
+
+	// Step 4: release the helper; its stale head CAS fails harmlessly.
+	close(helperResume)
+	select {
+	case <-helperDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("helper never returned")
+	}
+	if v, ok := q.Dequeue(owner); !ok || v != 30 {
+		t.Fatalf("final element: (%d,%v), want 30", v, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue length %d, want 0", q.Len())
+	}
+}
+
+// TestEmptyVsNonEmptyHelperRace forces the §3.2 Stage-1 race: one helper
+// of a dequeue decided the queue is empty and is suspended just before
+// recording the empty result (Line 120); meanwhile the queue becomes
+// non-empty and another helper linearizes the same dequeue against the
+// new element via Stage 1. The suspended helper's empty-CAS must fail
+// (the descriptor pointer changed), so the operation returns the value —
+// never both results, and never a lost element.
+//
+// Choreography (the "empty-seeing helper" is the victim itself, helping
+// its own operation — the code path is identical for any helper):
+//
+//  1. N (tid 2) starts Enqueue(77) and parks after publishing its
+//     descriptor, before appending — the queue is still empty.
+//  2. The victim (tid 0) starts Dequeue; its help pass reaches its own
+//     entry first, sees the empty queue, and parks right before the
+//     Line 120 empty-completion CAS.
+//  3. N resumes and completes: 77 is now in the queue. (N does not help
+//     the victim: N's phase predates the victim's operation.)
+//  4. H (tid 1) enqueues 88; its help pass finds the victim's pending
+//     dequeue, sees a NON-empty queue, and linearizes it via Stage 1 +
+//     Line 135: the victim's dequeue returns 77.
+//  5. The victim resumes; its stale empty-CAS fails; it must return 77.
+func TestEmptyVsNonEmptyHelperRace(t *testing.T) {
+	const victim = 0
+	const helperH = 1
+	const enqN = 2
+	q := New[int64](3)
+
+	// Step 1: park N before its own append.
+	nParked := make(chan struct{})
+	nResume := make(chan struct{})
+	var nOnce sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.KPEnqRetry && caller == enqN {
+			nOnce.Do(func() {
+				close(nParked)
+				<-nResume
+			})
+		}
+	})
+	defer yield.Set(prev)
+	nDone := make(chan struct{})
+	go func() {
+		q.Enqueue(enqN, 77)
+		close(nDone)
+	}()
+	<-nParked
+
+	// Step 2: park the victim at its own empty-completion CAS.
+	vParked := make(chan struct{})
+	vResume := make(chan struct{})
+	var vOnce sync.Once
+	yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.KPBeforeEmptyCAS && caller == victim && owner == victim {
+			vOnce.Do(func() {
+				close(vParked)
+				<-vResume
+			})
+		}
+	})
+	victimGot := make(chan struct {
+		v  int64
+		ok bool
+	}, 1)
+	go func() {
+		v, ok := q.Dequeue(victim)
+		victimGot <- struct {
+			v  int64
+			ok bool
+		}{v, ok}
+	}()
+	<-vParked
+
+	// Step 3: N completes its enqueue; 77 enters the queue.
+	close(nResume)
+	select {
+	case <-nDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("N never completed its enqueue")
+	}
+
+	// Step 4: H's operation helps the victim on the non-empty queue.
+	q.Enqueue(helperH, 88)
+	if q.isStillPending(victim, 1<<62) {
+		t.Fatal("victim's dequeue not helped on the non-empty queue")
+	}
+
+	// Step 5: the victim's stale empty-CAS must lose.
+	close(vResume)
+	res := <-victimGot
+	if !res.ok || res.v != 77 {
+		t.Fatalf("victim returned (%d,%v), want (77,true): empty result raced past Stage 1", res.v, res.ok)
+	}
+	// 88 must still be there; nothing lost or duplicated.
+	if v, ok := q.Dequeue(helperH); !ok || v != 88 {
+		t.Fatalf("(%d,%v), want 88", v, ok)
+	}
+	if _, ok := q.Dequeue(helperH); ok {
+		t.Fatal("phantom element")
+	}
+}

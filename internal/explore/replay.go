@@ -1,0 +1,63 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ReplayResult is the outcome of re-executing one recorded schedule.
+type ReplayResult struct {
+	// Failure is empty when all checks passed.
+	Failure string
+	// Decisions is the number of scheduling decisions taken.
+	Decisions int
+	// Schedule echoes the thread choices actually used.
+	Schedule []int
+}
+
+// String renders the replay outcome for humans.
+func (r ReplayResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay of %d decisions: %v\n", r.Decisions, r.Schedule)
+	if r.Failure == "" {
+		b.WriteString("result: all checks passed")
+	} else {
+		fmt.Fprintf(&b, "result: VIOLATION — %s", r.Failure)
+	}
+	return b.String()
+}
+
+// Replay re-executes the program under a previously recorded schedule
+// (from Failure.Schedule) and re-checks the invariants. Because thread
+// advance is deterministic between yield points, replaying the same
+// schedule reproduces the same interleaving — the debugging loop for any
+// violation the explorer finds.
+//
+// If the schedule is shorter than the run requires (e.g. the code under
+// test changed), the remainder is scheduled first-runnable; if it names
+// a non-runnable thread at some step, an error is returned.
+func Replay(opts Options, schedule []int) (ReplayResult, error) {
+	if len(opts.Progs) == 0 {
+		return ReplayResult{}, fmt.Errorf("explore: empty program")
+	}
+	if opts.NewQueue == nil {
+		return ReplayResult{}, fmt.Errorf("explore: NewQueue is required")
+	}
+	stepTimeout := opts.StepTimeout
+	if stepTimeout == 0 {
+		stepTimeout = 10 * time.Second
+	}
+	tr, err := runOnce(opts, stepTimeout, schedule, func(runnable []int) int {
+		return runnable[0]
+	})
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	out := ReplayResult{Failure: tr.failure, Decisions: len(tr.decisions)}
+	out.Schedule = make([]int, len(tr.decisions))
+	for i, d := range tr.decisions {
+		out.Schedule[i] = d.chosen
+	}
+	return out, nil
+}

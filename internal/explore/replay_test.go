@@ -1,0 +1,85 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"wfq/internal/queues"
+)
+
+func TestReplayReproducesFailure(t *testing.T) {
+	// Find a violation on the broken LIFO queue, then replay its
+	// schedule and require the same verdict.
+	opts := Options{
+		Progs:    [][]Op{{EnqOp(1), EnqOp(2), DeqOp(), DeqOp()}},
+		NewQueue: func(int) queues.Queue { return &stack{} },
+		MaxRuns:  5,
+	}
+	rep, err := Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("no failure to replay")
+	}
+	f := rep.Failures[0]
+	res, err := Replay(opts, f.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == "" {
+		t.Fatal("replay did not reproduce the violation")
+	}
+	if res.Failure != f.Reason {
+		t.Fatalf("replay reason %q differs from original %q", res.Failure, f.Reason)
+	}
+	if !strings.Contains(res.String(), "VIOLATION") {
+		t.Fatalf("String(): %q", res.String())
+	}
+}
+
+func TestReplayCleanSchedule(t *testing.T) {
+	opts := Options{
+		Progs:    [][]Op{{EnqOp(1)}, {DeqOp()}},
+		NewQueue: kpBase,
+		MaxRuns:  5,
+	}
+	rep, err := Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", rep.Failures)
+	}
+	// Replay an arbitrary legal schedule prefix: thread 0 first.
+	res, err := Replay(opts, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != "" {
+		t.Fatalf("clean replay failed: %s", res.Failure)
+	}
+	if res.Decisions == 0 || len(res.Schedule) != res.Decisions {
+		t.Fatalf("bad trace: %+v", res)
+	}
+	if !strings.Contains(res.String(), "passed") {
+		t.Fatalf("String(): %q", res.String())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := Replay(Options{}, nil); err == nil {
+		t.Fatal("empty options accepted")
+	}
+	if _, err := Replay(Options{Progs: [][]Op{{EnqOp(1)}}}, nil); err == nil {
+		t.Fatal("nil NewQueue accepted")
+	}
+	// A schedule naming a non-runnable thread errors out.
+	opts := Options{
+		Progs:    [][]Op{{EnqOp(1)}},
+		NewQueue: kpBase,
+	}
+	if _, err := Replay(opts, []int{7}); err == nil {
+		t.Fatal("bogus schedule accepted")
+	}
+}

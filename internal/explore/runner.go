@@ -1,0 +1,226 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wfq/internal/lincheck"
+	"wfq/internal/yield"
+)
+
+// decision is one scheduling choice with the alternatives that were
+// available, recorded so the DFS can enumerate siblings.
+type decision struct {
+	chosen       int
+	alternatives []int
+}
+
+// trace is the outcome of one interleaving.
+type trace struct {
+	decisions []decision
+	failure   string // empty when all checks passed
+}
+
+// event is a worker → scheduler notification.
+type event struct {
+	tid      int
+	finished bool
+}
+
+// runOnce executes the program under one schedule. For the first
+// len(prefix) decisions the scheduler follows prefix; afterwards it asks
+// choose(runnable) (runnable is sorted ascending).
+func runOnce(opts Options, stepTimeout time.Duration, prefix []int, choose func([]int) int) (*trace, error) {
+	n := len(opts.Progs)
+	q := opts.NewQueue(n)
+	for _, v := range opts.Initial {
+		q.Enqueue(0, v)
+	}
+	rec := lincheck.NewRecorder(n, maxProgLen(opts.Progs))
+
+	arrived := make(chan event, n)
+	grants := make([]chan struct{}, n)
+	for i := range grants {
+		grants[i] = make(chan struct{})
+	}
+
+	// The yield hook parks the calling worker until granted. Worker
+	// tids are 0..n-1 by construction; any other caller id (-1 from
+	// the MS baseline) is ignored.
+	prevHook := yield.Set(func(_ yield.Point, caller, _ int) {
+		if caller < 0 || caller >= n {
+			return
+		}
+		arrived <- event{tid: caller}
+		<-grants[caller]
+	})
+	defer yield.Set(prevHook)
+
+	// Workers: pause once before each operation (so op start order is
+	// schedulable), then run the op, pausing inside at each yield
+	// point; finally report completion.
+	for t := 0; t < n; t++ {
+		go func(tid int) {
+			arrived <- event{tid: tid} // entry pause
+			<-grants[tid]
+			for _, op := range opts.Progs[tid] {
+				if op.Enq {
+					tok := rec.BeginEnq(tid, op.V)
+					q.Enqueue(tid, op.V)
+					rec.EndEnq(tok)
+				} else {
+					tok := rec.BeginDeq(tid)
+					v, ok := q.Dequeue(tid)
+					rec.EndDeq(tok, v, ok)
+				}
+				arrived <- event{tid: tid} // pre-op boundary for the NEXT op
+				<-grants[tid]
+			}
+			arrived <- event{tid: tid, finished: true}
+		}(t)
+	}
+
+	tr := &trace{}
+	paused := make(map[int]bool, n)
+	finished := 0
+	timer := time.NewTimer(stepTimeout)
+	defer timer.Stop()
+
+	waitEvent := func() (event, error) {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(stepTimeout)
+		select {
+		case ev := <-arrived:
+			return ev, nil
+		case <-timer.C:
+			return event{}, fmt.Errorf("explore: no progress within %v (lost yield point or livelock)", stepTimeout)
+		}
+	}
+
+	// Collect the initial entry pauses.
+	for i := 0; i < n; i++ {
+		ev, err := waitEvent()
+		if err != nil {
+			return nil, err
+		}
+		paused[ev.tid] = true
+	}
+
+	for finished < n {
+		runnable := make([]int, 0, n)
+		for tid, p := range paused {
+			if p {
+				runnable = append(runnable, tid)
+			}
+		}
+		sort.Ints(runnable)
+		if len(runnable) == 0 {
+			return nil, fmt.Errorf("explore: no runnable threads but %d unfinished", n-finished)
+		}
+		var chosen int
+		if len(tr.decisions) < len(prefix) {
+			chosen = prefix[len(tr.decisions)]
+			if !paused[chosen] {
+				return nil, fmt.Errorf("explore: prefix chose non-runnable thread %d", chosen)
+			}
+		} else {
+			chosen = choose(runnable)
+		}
+		tr.decisions = append(tr.decisions, decision{chosen: chosen, alternatives: runnable})
+		paused[chosen] = false
+		grants[chosen] <- struct{}{}
+		ev, err := waitEvent()
+		if err != nil {
+			return nil, err
+		}
+		if ev.tid != chosen {
+			return nil, fmt.Errorf("explore: event from %d while %d was granted", ev.tid, chosen)
+		}
+		if ev.finished {
+			finished++
+		} else {
+			paused[chosen] = true
+		}
+	}
+
+	// Uninstall the hook BEFORE the drain in check(): the drain calls
+	// Dequeue on a worker tid, which would otherwise park forever.
+	yield.Set(prevHook)
+
+	tr.failure = check(opts, q, rec)
+	return tr, nil
+}
+
+// check verifies the invariants of one completed interleaving.
+func check(opts Options, q interface {
+	Enqueue(int, int64)
+	Dequeue(int) (int64, bool)
+}, rec *lincheck.Recorder) string {
+	hist := rec.History()
+
+	// Conservation: drain the queue (single-threaded now) and account
+	// for every enqueued value — initial contents included — exactly
+	// once.
+	remaining := map[int64]int{}
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		remaining[v]++
+	}
+	enqueued := map[int64]int{}
+	dequeued := map[int64]int{}
+	for _, v := range opts.Initial {
+		enqueued[v]++
+	}
+	for _, op := range hist {
+		if op.Kind == lincheck.Enq {
+			enqueued[op.Arg]++
+		} else if op.OK {
+			dequeued[op.Ret]++
+		}
+	}
+	for v, c := range dequeued {
+		if c > 1 {
+			return fmt.Sprintf("value %d dequeued %d times", v, c)
+		}
+		if enqueued[v] == 0 {
+			return fmt.Sprintf("value %d dequeued but never enqueued", v)
+		}
+	}
+	for v, c := range enqueued {
+		if dequeued[v]+remaining[v] != c {
+			return fmt.Sprintf("value %d: enqueued %d, dequeued %d, remaining %d",
+				v, c, dequeued[v], remaining[v])
+		}
+	}
+
+	// Linearizability of the recorded history, starting from the
+	// initial contents.
+	var c lincheck.Checker
+	res, err := c.CheckFrom(hist, opts.Initial)
+	if err != nil {
+		return fmt.Sprintf("checker error: %v", err)
+	}
+	if res != lincheck.Linearizable {
+		return fmt.Sprintf("history %v: %v", hist, res)
+	}
+	return ""
+}
+
+func maxProgLen(progs [][]Op) int {
+	m := 1
+	for _, p := range progs {
+		if len(p) > m {
+			m = len(p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+// Package harness implements the paper's §4 evaluation methodology: the
+// two benchmark workloads (enqueue-dequeue pairs and 50% enqueues), the
+// thread-count sweeps, repetition with averaging, the scheduler profiles
+// standing in for the paper's three OS configurations, and the space-
+// overhead experiment of Figure 10.
+package harness
+
+import (
+	"wfq/internal/core"
+	"wfq/internal/msqueue"
+	"wfq/internal/queues"
+	"wfq/internal/universal"
+)
+
+// Algorithm names a queue implementation and knows how to build a fresh
+// instance for a given thread bound.
+type Algorithm struct {
+	// Name matches the series labels of the paper's figures where
+	// applicable ("LF", "base WF", "opt WF (1+2)", ...).
+	Name string
+	// New builds a fresh queue for up to nthreads threads.
+	New func(nthreads int) queues.Queue
+}
+
+// msAdapter fits the tid-less Michael–Scott queues to the common
+// interface.
+type msAdapter struct{ q *msqueue.Queue[int64] }
+
+func (a msAdapter) Enqueue(_ int, v int64) { a.q.Enqueue(v) }
+func (a msAdapter) Dequeue(_ int) (int64, bool) {
+	return a.q.Dequeue()
+}
+
+type twoLockAdapter struct{ q *msqueue.TwoLockQueue[int64] }
+
+func (a twoLockAdapter) Enqueue(_ int, v int64) { a.q.Enqueue(v) }
+func (a twoLockAdapter) Dequeue(_ int) (int64, bool) {
+	return a.q.Dequeue()
+}
+
+// LF is the Michael–Scott lock-free baseline of every figure.
+func LF() Algorithm {
+	return Algorithm{Name: "LF", New: func(int) queues.Queue {
+		return msAdapter{q: msqueue.New[int64]()}
+	}}
+}
+
+// BaseWF is the paper's base algorithm (§3.2).
+func BaseWF() Algorithm {
+	return Algorithm{Name: "base WF", New: func(n int) queues.Queue {
+		return core.New[int64](n)
+	}}
+}
+
+// OptWF1 applies only optimization 1 (help-one, cyclic).
+func OptWF1() Algorithm {
+	return Algorithm{Name: "opt WF (1)", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithVariant(core.VariantOpt1))
+	}}
+}
+
+// OptWF2 applies only optimization 2 (atomic phase counter).
+func OptWF2() Algorithm {
+	return Algorithm{Name: "opt WF (2)", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithVariant(core.VariantOpt2))
+	}}
+}
+
+// OptWF12 applies both optimizations — the "opt WF (1+2)" series.
+func OptWF12() Algorithm {
+	return Algorithm{Name: "opt WF (1+2)", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithVariant(core.VariantOpt12))
+	}}
+}
+
+// BaseWFClear is the base algorithm with the §3.3 dummy-descriptor
+// enhancement (WithClearOnExit): finished operations drop their node
+// references so completed threads pin no queue memory. Its role is the
+// space-overhead experiment, where it isolates the "descriptor keeps a
+// dequeued node (and the chain behind it) live" effect the paper calls
+// out in §3.3.
+func BaseWFClear() Algorithm {
+	return Algorithm{Name: "base WF (clear)", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithClearOnExit())
+	}}
+}
+
+// OptWF12Random is opt WF (1+2) with the §3.3 random-candidate helping
+// alternative ("achieving probabilistic wait-freedom"); extended
+// benchmarks only.
+func OptWF12Random() Algorithm {
+	return Algorithm{Name: "opt WF (1+2) rnd", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithVariant(core.VariantOpt12), core.WithRandomHelping())
+	}}
+}
+
+// WFHP is the §3.4 hazard-pointer variant (extended benchmarks only).
+func WFHP() Algorithm {
+	return Algorithm{Name: "base WF+HP", New: func(n int) queues.Queue {
+		return core.NewHP[int64](n, 0, 0)
+	}}
+}
+
+// LFHP is the Michael–Scott queue with hazard-pointer reclamation — the
+// lock-free baseline as it would run without a GC (extended benchmarks
+// only; prices HP overhead on the LF side of the §3.4 comparison).
+func LFHP() Algorithm {
+	return Algorithm{Name: "LF+HP", New: func(n int) queues.Queue {
+		return msqueue.NewHP[int64](n, 0, 0)
+	}}
+}
+
+// Universal is Herlihy's wait-free universal construction instantiated
+// on the sequential queue — the §2 related-work alternative the paper
+// argues is impractical; included so that claim is measurable.
+func Universal() Algorithm {
+	return Algorithm{Name: "universal WF", New: func(n int) queues.Queue {
+		return universal.New(n)
+	}}
+}
+
+// TwoLock is Michael–Scott's blocking queue (extended benchmarks only).
+func TwoLock() Algorithm {
+	return Algorithm{Name: "2-lock", New: func(int) queues.Queue {
+		return twoLockAdapter{q: msqueue.NewTwoLock[int64]()}
+	}}
+}
+
+// Mutex is the coarse-lock baseline (extended benchmarks only).
+func Mutex() Algorithm {
+	return Algorithm{Name: "mutex", New: func(n int) queues.Queue {
+		return queues.NewMutexQueue(n)
+	}}
+}
+
+// Figure7Algorithms returns the three series of Figures 7 and 8.
+func Figure7Algorithms() []Algorithm {
+	return []Algorithm{LF(), BaseWF(), OptWF12()}
+}
+
+// Figure9Algorithms returns the four series of the optimization-impact
+// ablation (Figure 9).
+func Figure9Algorithms() []Algorithm {
+	return []Algorithm{BaseWF(), OptWF12(), OptWF1(), OptWF2()}
+}
+
+// AllAlgorithms returns every queue the extended benchmarks cover.
+func AllAlgorithms() []Algorithm {
+	return []Algorithm{
+		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), OptWF12Random(),
+		BaseWFClear(), WFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
+	}
+}
+
+// ByName finds an algorithm by its label; ok is false if unknown.
+func ByName(name string) (Algorithm, bool) {
+	for _, a := range AllAlgorithms() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algorithm{}, false
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wfq/internal/stats"
+)
+
+// FairnessResult reports how evenly a fixed per-thread workload
+// completes across threads — the operational face of starvation: under a
+// lock-free queue an unlucky thread can fall arbitrarily far behind its
+// peers, while wait-free helping drags stragglers along (their pending
+// operations are finished by others).
+type FairnessResult struct {
+	Algorithm string
+	// PerThread are the individual completion times.
+	PerThread []time.Duration
+	// Spread is max/min completion time: 1.0 is perfectly fair.
+	Spread float64
+	// CV is the coefficient of variation (stddev/mean) of completion
+	// times, a scale-free unfairness measure.
+	CV float64
+}
+
+// String renders one result row.
+func (r FairnessResult) String() string {
+	return fmt.Sprintf("%-16s spread=%.3f cv=%.4f (n=%d)", r.Algorithm, r.Spread, r.CV, len(r.PerThread))
+}
+
+// MeasureFairness runs the pairs workload with a fixed per-thread
+// iteration count and records each thread's own completion time.
+func MeasureFairness(alg Algorithm, cfg Config) (FairnessResult, error) {
+	if err := cfg.validate(); err != nil {
+		return FairnessResult{}, err
+	}
+	q := alg.New(cfg.Threads)
+	for i := 0; i < cfg.Workload.Prefill(); i++ {
+		q.Enqueue(0, int64(i))
+	}
+	restore := cfg.Profile.apply()
+	defer restore()
+
+	times := make([]time.Duration, cfg.Threads)
+	var start, done sync.WaitGroup
+	gate := make(chan struct{})
+	start.Add(cfg.Threads)
+	done.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		go func(tid int) {
+			defer done.Done()
+			start.Done()
+			<-gate
+			t0 := time.Now()
+			for i := 0; i < cfg.Iters; i++ {
+				q.Enqueue(tid, int64(tid)<<32|int64(i))
+				q.Dequeue(tid)
+			}
+			times[tid] = time.Since(t0)
+		}(w)
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	xs := make([]float64, len(times))
+	for i, d := range times {
+		xs[i] = d.Seconds()
+	}
+	s := stats.Summarize(xs)
+	res := FairnessResult{
+		Algorithm: alg.Name,
+		PerThread: times,
+		Spread:    s.Max / s.Min,
+		CV:        s.Std / s.Mean,
+	}
+	return res, nil
+}

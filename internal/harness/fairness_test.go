@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureFairnessBasics(t *testing.T) {
+	r, err := MeasureFairness(OptWF12(), Config{Workload: Pairs, Threads: 4, Iters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "opt WF (1+2)" || len(r.PerThread) != 4 {
+		t.Fatalf("%+v", r)
+	}
+	if r.Spread < 1 {
+		t.Fatalf("spread %f < 1", r.Spread)
+	}
+	if r.CV < 0 {
+		t.Fatalf("cv %f < 0", r.CV)
+	}
+	for i, d := range r.PerThread {
+		if d <= 0 {
+			t.Fatalf("thread %d: non-positive duration", i)
+		}
+	}
+	if !strings.Contains(r.String(), "spread=") {
+		t.Fatalf("String(): %q", r.String())
+	}
+}
+
+func TestMeasureFairnessValidation(t *testing.T) {
+	if _, err := MeasureFairness(LF(), Config{Threads: 0, Iters: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestFairnessAcrossAlgorithms(t *testing.T) {
+	// Smoke: all main algorithms produce sane fairness numbers; we do
+	// not assert WF < LF spreads on a 1-core host (the Go scheduler's
+	// own fairness dominates), only well-formedness.
+	for _, alg := range []Algorithm{LF(), BaseWF(), OptWF12(), Mutex()} {
+		r, err := MeasureFairness(alg, Config{Workload: Pairs, Threads: 4, Iters: 300})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if r.Spread < 1 || r.CV < 0 {
+			t.Fatalf("%s: %+v", alg.Name, r)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wfq/internal/stats"
+)
+
+// LatencyConfig parameterizes a per-operation latency measurement — the
+// experiment behind the paper's motivation ("systems where strict
+// deadlines for operation completion exist"): wait-freedom bounds each
+// operation's steps, which surfaces as a bounded latency tail when the
+// scheduler is hostile.
+type LatencyConfig struct {
+	// Threads is the number of workers running enqueue-dequeue pairs.
+	Threads int
+	// Iters is the per-thread pair count.
+	Iters int
+	// Profile disturbs scheduling during the measurement.
+	Profile Profile
+	// SampleEvery records one in every k operations (1 = all). Timing
+	// every op doubles the op cost; sampling keeps the probe light.
+	SampleEvery int
+}
+
+// LatencyResult summarizes one algorithm's per-operation latencies.
+type LatencyResult struct {
+	Algorithm string
+	Samples   int
+	P50       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+	Max       time.Duration
+}
+
+// String renders the row wfqlat prints.
+func (r LatencyResult) String() string {
+	return fmt.Sprintf("%-14s n=%-8d p50=%-10v p99=%-10v p99.9=%-10v max=%v",
+		r.Algorithm, r.Samples, r.P50, r.P99, r.P999, r.Max)
+}
+
+// MeasureLatency runs the pairs workload and records per-operation
+// latencies across all threads.
+func MeasureLatency(alg Algorithm, cfg LatencyConfig) (LatencyResult, error) {
+	if cfg.Threads <= 0 || cfg.Iters <= 0 {
+		return LatencyResult{}, fmt.Errorf("harness: bad latency config %+v", cfg)
+	}
+	sampleEvery := cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	q := alg.New(cfg.Threads)
+
+	restore := cfg.Profile.apply()
+	defer restore()
+
+	perThread := make([][]float64, cfg.Threads)
+	var start, done sync.WaitGroup
+	gate := make(chan struct{})
+	start.Add(cfg.Threads)
+	done.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		go func(tid int) {
+			defer done.Done()
+			lat := make([]float64, 0, 2*cfg.Iters/sampleEvery+2)
+			start.Done()
+			<-gate
+			for i := 0; i < cfg.Iters; i++ {
+				if i%sampleEvery == 0 {
+					t0 := time.Now()
+					q.Enqueue(tid, int64(i))
+					lat = append(lat, float64(time.Since(t0)))
+					t0 = time.Now()
+					q.Dequeue(tid)
+					lat = append(lat, float64(time.Since(t0)))
+				} else {
+					q.Enqueue(tid, int64(i))
+					q.Dequeue(tid)
+				}
+				if cfg.Profile.YieldEvery > 0 && i%cfg.Profile.YieldEvery == 0 {
+					runtime.Gosched()
+				}
+			}
+			perThread[tid] = lat
+		}(w)
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	var all []float64
+	for _, l := range perThread {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	if len(all) == 0 {
+		return LatencyResult{}, fmt.Errorf("harness: no latency samples")
+	}
+	return LatencyResult{
+		Algorithm: alg.Name,
+		Samples:   len(all),
+		P50:       time.Duration(stats.Percentile(all, 50)),
+		P99:       time.Duration(stats.Percentile(all, 99)),
+		P999:      time.Duration(stats.Percentile(all, 99.9)),
+		Max:       time.Duration(all[len(all)-1]),
+	}, nil
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wfq/internal/stats"
+	"wfq/internal/xrand"
+)
+
+// Workload selects one of the paper's two benchmarks (§4).
+type Workload int
+
+// The paper's benchmark workloads.
+const (
+	// Pairs: "the queue is initially empty, and at each iteration,
+	// each thread iteratively performs an enqueue operation followed
+	// by a dequeue operation". 2·iters operations per thread.
+	Pairs Workload = iota
+	// Fifty: "the queue is initialized with 1000 elements, and at each
+	// iteration, each thread decides uniformly at random ... with
+	// equal odds for enqueue and dequeue". iters operations per thread.
+	Fifty
+)
+
+// String names the workload as the paper does.
+func (w Workload) String() string {
+	switch w {
+	case Pairs:
+		return "enqueue-dequeue pairs"
+	case Fifty:
+		return "50% enqueues"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Prefill reports the initial queue size the workload mandates.
+func (w Workload) Prefill() int {
+	if w == Fifty {
+		return 1000
+	}
+	return 0
+}
+
+// Config describes one measured run.
+type Config struct {
+	Workload Workload
+	// Threads is the number of worker threads (the x-axis of the
+	// figures, 1..16 in the paper).
+	Threads int
+	// Iters is the per-thread iteration count (1,000,000 in the
+	// paper; configurable because this host has one core).
+	Iters int
+	// Seed derives the per-worker random streams of the Fifty
+	// workload; runs with equal seeds perform identical op sequences.
+	Seed uint64
+	// Profile is the scheduler disturbance profile.
+	Profile Profile
+}
+
+func (c Config) validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("harness: Threads must be positive, got %d", c.Threads)
+	}
+	if c.Iters <= 0 {
+		return fmt.Errorf("harness: Iters must be positive, got %d", c.Iters)
+	}
+	return nil
+}
+
+// Run executes one measured run of alg under cfg and returns the total
+// completion time (the paper's metric: wall time from releasing all
+// workers until the last finishes).
+func Run(alg Algorithm, cfg Config) (time.Duration, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	q := alg.New(cfg.Threads)
+	for i := 0; i < cfg.Workload.Prefill(); i++ {
+		q.Enqueue(0, int64(i))
+	}
+
+	restore := cfg.Profile.apply()
+	defer restore()
+
+	var start, done sync.WaitGroup
+	gate := make(chan struct{})
+	start.Add(cfg.Threads)
+	done.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		go func(tid int) {
+			defer done.Done()
+			rng := xrand.New(cfg.Seed*1_000_003 + uint64(tid))
+			start.Done()
+			<-gate
+			yieldEvery := cfg.Profile.YieldEvery
+			opCount := 0
+			maybeYield := func() {
+				if yieldEvery > 0 {
+					opCount++
+					if opCount%yieldEvery == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+			switch cfg.Workload {
+			case Pairs:
+				for i := 0; i < cfg.Iters; i++ {
+					q.Enqueue(tid, int64(tid)<<32|int64(i))
+					maybeYield()
+					q.Dequeue(tid)
+					maybeYield()
+				}
+			case Fifty:
+				for i := 0; i < cfg.Iters; i++ {
+					if rng.Bool() {
+						q.Enqueue(tid, int64(tid)<<32|int64(i))
+					} else {
+						q.Dequeue(tid)
+					}
+					maybeYield()
+				}
+			}
+		}(w)
+	}
+	start.Wait()
+	t0 := time.Now()
+	close(gate)
+	done.Wait()
+	return time.Since(t0), nil
+}
+
+// Repeat runs alg under cfg `times` times (the paper uses ten) and
+// returns the per-run durations summarized.
+func Repeat(alg Algorithm, cfg Config, times int) (stats.Summary, error) {
+	if times <= 0 {
+		return stats.Summary{}, fmt.Errorf("harness: times must be positive, got %d", times)
+	}
+	ds := make([]time.Duration, 0, times)
+	for r := 0; r < times; r++ {
+		d, err := Run(alg, cfg)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		ds = append(ds, d)
+	}
+	return stats.SummarizeDurations(ds), nil
+}
+
+// SweepPoint is one (algorithm, thread-count) cell of a figure.
+type SweepPoint struct {
+	Algorithm string
+	Threads   int
+	Summary   stats.Summary
+}
+
+// Sweep measures every algorithm at every thread count — one panel of a
+// paper figure. Results are ordered algorithm-major, matching algs.
+func Sweep(algs []Algorithm, threadCounts []int, base Config, repeats int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, alg := range algs {
+		for _, n := range threadCounts {
+			cfg := base
+			cfg.Threads = n
+			s, err := Repeat(alg, cfg, repeats)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d threads: %w", alg.Name, n, err)
+			}
+			out = append(out, SweepPoint{Algorithm: alg.Name, Threads: n, Summary: s})
+		}
+	}
+	return out, nil
+}
+
+// ThreadRange returns the inclusive integer range [lo, hi] — the paper's
+// sweeps use 1..16.
+func ThreadRange(lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for n := lo; n <= hi; n++ {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfq/internal/queues"
+)
+
+// countingQueue wraps a queue and counts operations, letting tests
+// observe what the harness actually drives.
+type countingQueue struct {
+	inner    queues.Queue
+	enq, deq atomic.Int64
+	length   atomic.Int64
+}
+
+func (c *countingQueue) Enqueue(tid int, v int64) {
+	c.inner.Enqueue(tid, v)
+	c.enq.Add(1)
+	c.length.Add(1)
+}
+
+func (c *countingQueue) Dequeue(tid int) (int64, bool) {
+	v, ok := c.inner.Dequeue(tid)
+	c.deq.Add(1)
+	if ok {
+		c.length.Add(-1)
+	}
+	return v, ok
+}
+
+func wrapCounting() (*countingQueue, Algorithm) {
+	cq := &countingQueue{}
+	return cq, Algorithm{Name: "counting", New: func(n int) queues.Queue {
+		cq.inner = queues.NewMutexQueue(n)
+		return cq
+	}}
+}
+
+func TestPairsWorkloadOpCounts(t *testing.T) {
+	cq, alg := wrapCounting()
+	const threads, iters = 3, 500
+	if _, err := Run(alg, Config{Workload: Pairs, Threads: threads, Iters: iters}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cq.enq.Load(); got != threads*iters {
+		t.Fatalf("enqueues %d, want %d", got, threads*iters)
+	}
+	if got := cq.deq.Load(); got != threads*iters {
+		t.Fatalf("dequeues %d, want %d", got, threads*iters)
+	}
+}
+
+func TestFiftyWorkloadPrefillAndCounts(t *testing.T) {
+	cq, alg := wrapCounting()
+	const threads, iters = 3, 2000
+	if _, err := Run(alg, Config{Workload: Fifty, Threads: threads, Iters: iters, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// The harness prefills 1000 via Enqueue on the wrapped queue, then
+	// each thread performs exactly `iters` operations split ~50/50.
+	totalOps := cq.enq.Load() + cq.deq.Load()
+	if totalOps != 1000+threads*iters {
+		t.Fatalf("total ops %d, want %d", totalOps, 1000+threads*iters)
+	}
+	enqFrac := float64(cq.enq.Load()-1000) / float64(threads*iters)
+	if enqFrac < 0.45 || enqFrac > 0.55 {
+		t.Fatalf("enqueue fraction %.3f outside [0.45,0.55]", enqFrac)
+	}
+}
+
+// TestConservationUnderArtificialParallelism raises GOMAXPROCS above the
+// host's core count so the Go scheduler multiplexes runnable goroutines
+// across virtual Ps — the closest a 1-core host gets to parallel
+// execution paths.
+func TestConservationUnderArtificialParallelism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const threads, iters = 6, 2000
+	for _, alg := range []Algorithm{BaseWF(), OptWF12(), WFHP()} {
+		t.Run(alg.Name, func(t *testing.T) {
+			q := alg.New(threads)
+			var wg sync.WaitGroup
+			var deqOK atomic.Int64
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						q.Enqueue(tid, int64(tid)<<32|int64(i))
+						if _, ok := q.Dequeue(tid); ok {
+							deqOK.Add(1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			rest := int64(0)
+			for {
+				if _, ok := q.Dequeue(0); !ok {
+					break
+				}
+				rest++
+			}
+			if deqOK.Load()+rest != threads*iters {
+				t.Fatalf("conservation: ok=%d rest=%d", deqOK.Load(), rest)
+			}
+		})
+	}
+}

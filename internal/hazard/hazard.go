@@ -1,0 +1,188 @@
+// Package hazard implements Michael's Hazard Pointers (IEEE TPDS 2004),
+// the safe-memory-reclamation scheme §3.4 of the paper prescribes for
+// running the wait-free queue in runtimes without a garbage collector.
+//
+// Go has a garbage collector, so nothing here is needed for safety of the
+// default queue variants. The point of this package is to reproduce the
+// paper's non-GC story faithfully: the HP-backed queue variant
+// (internal/core.HPQueue) recycles nodes through an explicit pool and must
+// therefore solve exactly the reclamation and ABA problems a C++ port
+// would face. "Reclamation" here means handing the node to a recycle
+// callback (typically a free pool) instead of free(); the correctness
+// obligation — never recycle a node while some thread may still use it —
+// is identical.
+//
+// The implementation follows Michael's structure: each thread owns K
+// single-writer multi-reader hazard slots; Retire adds a node to the
+// thread's private retired list; when the list exceeds the scan threshold,
+// Scan snapshots every hazard slot and recycles precisely the retired
+// nodes absent from the snapshot. All operations have bounded step counts:
+// Scan's work is the (fixed) slot count plus the retired-list length,
+// itself bounded by the threshold, so the scheme is wait-free — which is
+// what lets §3.4 claim the integrated queue remains wait-free.
+package hazard
+
+import "sync/atomic"
+
+// pad keeps hot per-thread words on separate cache lines.
+type pad [64]byte
+
+// Domain manages hazard slots and retired lists for up to nthreads
+// threads, protecting nodes of type T. Thread ids must lie in
+// [0, nthreads). Set/Clear/Retire for a given tid must only be called by
+// the thread owning that tid (single-writer slots).
+type Domain[T any] struct {
+	nthreads  int
+	perTh     int
+	threshold int
+	slots     []slot[T]
+	retired   []retireList[T]
+	// recycle receives (owner tid, node) for nodes proven unreachable.
+	recycle func(int, *T)
+	scans   atomic.Int64
+	freed   atomic.Int64
+}
+
+type slot[T any] struct {
+	p atomic.Pointer[T]
+	_ pad
+}
+
+type retireList[T any] struct {
+	list []*T
+	_    pad
+}
+
+// NewDomain creates a hazard-pointer domain.
+//
+// recycle is invoked from the retiring thread's Scan, once per retired
+// node with no remaining hazard references; tid is the scanning thread.
+// threshold <= 0 selects 2·K·nthreads, Michael's standard value, which
+// bounds unreclaimed garbage at O(K·n²) total while amortizing scan cost.
+func NewDomain[T any](nthreads, slotsPerThread, threshold int, recycle func(tid int, p *T)) *Domain[T] {
+	if nthreads <= 0 {
+		panic("hazard: nthreads must be positive")
+	}
+	if slotsPerThread <= 0 {
+		panic("hazard: slotsPerThread must be positive")
+	}
+	total := nthreads * slotsPerThread
+	if threshold <= 0 {
+		threshold = 2 * total
+	}
+	return &Domain[T]{
+		nthreads:  nthreads,
+		perTh:     slotsPerThread,
+		threshold: threshold,
+		slots:     make([]slot[T], total),
+		retired:   make([]retireList[T], nthreads),
+		recycle:   recycle,
+	}
+}
+
+// NumThreads reports the domain's thread capacity.
+func (d *Domain[T]) NumThreads() int { return d.nthreads }
+
+// SlotsPerThread reports K, the number of hazard slots per thread.
+func (d *Domain[T]) SlotsPerThread() int { return d.perTh }
+
+func (d *Domain[T]) slotIndex(tid, k int) int {
+	if tid < 0 || tid >= d.nthreads {
+		panic("hazard: thread id out of range")
+	}
+	if k < 0 || k >= d.perTh {
+		panic("hazard: hazard slot out of range")
+	}
+	return tid*d.perTh + k
+}
+
+// Set publishes p in thread tid's k-th hazard slot. The caller must
+// re-validate that p is still reachable from the data structure after Set
+// returns (the standard HP protocol); Protect automates that loop for
+// pointers read from a single atomic source.
+func (d *Domain[T]) Set(tid, k int, p *T) {
+	d.slots[d.slotIndex(tid, k)].p.Store(p)
+}
+
+// Clear empties thread tid's k-th hazard slot.
+func (d *Domain[T]) Clear(tid, k int) {
+	d.slots[d.slotIndex(tid, k)].p.Store(nil)
+}
+
+// ClearAll empties all of thread tid's hazard slots; queue operations call
+// it on exit so finished threads pin no nodes.
+func (d *Domain[T]) ClearAll(tid int) {
+	base := tid * d.perTh
+	for k := 0; k < d.perTh; k++ {
+		d.slots[base+k].p.Store(nil)
+	}
+}
+
+// Protect loads *src, publishes it in slot (tid,k), and re-validates that
+// *src is unchanged, looping until the publish is consistent; it returns
+// the protected pointer (possibly nil). Each retry is caused by a
+// concurrent writer changing *src; under the queue's usage each source
+// changes a bounded number of times per in-flight operation, so the loop
+// inherits the algorithm's progress bound (§3.4).
+func (d *Domain[T]) Protect(tid, k int, src *atomic.Pointer[T]) *T {
+	idx := d.slotIndex(tid, k)
+	for {
+		p := src.Load()
+		d.slots[idx].p.Store(p)
+		if src.Load() == p {
+			return p
+		}
+	}
+}
+
+// Retire records that thread tid removed p from the data structure; p is
+// recycled by a later scan once no hazard slot references it. A node must
+// not be retired twice, and must already be unreachable from the structure
+// (the standard preconditions).
+func (d *Domain[T]) Retire(tid int, p *T) {
+	r := &d.retired[tid]
+	r.list = append(r.list, p)
+	if len(r.list) >= d.threshold {
+		d.scan(tid)
+	}
+}
+
+// Scan forces an immediate reclamation pass over thread tid's retired
+// list, regardless of the threshold; used by drain paths and tests.
+func (d *Domain[T]) Scan(tid int) { d.scan(tid) }
+
+func (d *Domain[T]) scan(tid int) {
+	// Stage 1: snapshot every hazard slot into a small set.
+	hazards := make(map[*T]struct{}, len(d.slots))
+	for i := range d.slots {
+		if p := d.slots[i].p.Load(); p != nil {
+			hazards[p] = struct{}{}
+		}
+	}
+	// Stage 2: recycle retired nodes not in the snapshot.
+	r := &d.retired[tid]
+	keep := r.list[:0]
+	for _, p := range r.list {
+		if _, hot := hazards[p]; hot {
+			keep = append(keep, p)
+		} else {
+			d.freed.Add(1)
+			if d.recycle != nil {
+				d.recycle(tid, p)
+			}
+		}
+	}
+	for i := len(keep); i < len(r.list); i++ {
+		r.list[i] = nil // drop references so the backing array does not pin nodes
+	}
+	r.list = keep
+	d.scans.Add(1)
+}
+
+// RetiredCount reports the current length of tid's retired list.
+func (d *Domain[T]) RetiredCount(tid int) int { return len(d.retired[tid].list) }
+
+// Stats reports cumulative (scan passes, recycled nodes).
+func (d *Domain[T]) Stats() (scans, freed int64) {
+	return d.scans.Load(), d.freed.Load()
+}

@@ -1,0 +1,133 @@
+package hazard
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refModel is the obviously-correct single-threaded specification of the
+// hazard domain: a pointer retires into a per-thread list and is
+// recycled by a scan iff no slot protects it at scan time.
+type refModel struct {
+	nthreads, perTh int
+	slots           map[[2]int]*tnode
+	retired         map[int][]*tnode
+	recycled        []*tnode
+}
+
+func newRefModel(nthreads, perTh int) *refModel {
+	return &refModel{
+		nthreads: nthreads, perTh: perTh,
+		slots:   map[[2]int]*tnode{},
+		retired: map[int][]*tnode{},
+	}
+}
+
+func (m *refModel) set(tid, k int, p *tnode)   { m.slots[[2]int{tid, k}] = p }
+func (m *refModel) clear(tid, k int)           { delete(m.slots, [2]int{tid, k}) }
+func (m *refModel) retire(tid int, p *tnode)   { m.retired[tid] = append(m.retired[tid], p) }
+func (m *refModel) protected(p *tnode) bool {
+	for _, q := range m.slots {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+func (m *refModel) scan(tid int) {
+	keep := m.retired[tid][:0]
+	for _, p := range m.retired[tid] {
+		if m.protected(p) {
+			keep = append(keep, p)
+		} else {
+			m.recycled = append(m.recycled, p)
+		}
+	}
+	m.retired[tid] = keep
+}
+
+// opCode drives one random step against both implementations.
+type opCode struct {
+	Kind byte // set / clear / retire / scan
+	Tid  byte
+	Slot byte
+	Node byte
+}
+
+// TestDomainMatchesModel replays random single-threaded op sequences
+// against both the real domain and the reference model, comparing the
+// multiset of recycled pointers and the retired-list lengths after every
+// scan.
+func TestDomainMatchesModel(t *testing.T) {
+	const nthreads, perTh = 3, 2
+	if err := quick.Check(func(ops []opCode) bool {
+		// A large threshold so scans happen only when the op stream
+		// says so, keeping both sides in lockstep.
+		var recycled []*tnode
+		d := NewDomain[tnode](nthreads, perTh, 1<<30, func(_ int, p *tnode) {
+			recycled = append(recycled, p)
+		})
+		m := newRefModel(nthreads, perTh)
+		nodes := make([]*tnode, 8)
+		for i := range nodes {
+			nodes[i] = &tnode{v: i}
+		}
+		liveRetired := map[*tnode]bool{} // guard the no-double-retire precondition
+
+		for _, op := range ops {
+			tid := int(op.Tid) % nthreads
+			k := int(op.Slot) % perTh
+			n := nodes[int(op.Node)%len(nodes)]
+			switch op.Kind % 4 {
+			case 0:
+				d.Set(tid, k, n)
+				m.set(tid, k, n)
+			case 1:
+				d.Clear(tid, k)
+				m.clear(tid, k)
+			case 2:
+				if liveRetired[n] {
+					continue // double retire is a caller bug
+				}
+				liveRetired[n] = true
+				d.Retire(tid, n)
+				m.retire(tid, n)
+			case 3:
+				d.Scan(tid)
+				m.scan(tid)
+				if d.RetiredCount(tid) != len(m.retired[tid]) {
+					return false
+				}
+			}
+		}
+		// Final full scan on every thread after clearing all slots.
+		for tid := 0; tid < nthreads; tid++ {
+			d.ClearAll(tid)
+			for k := 0; k < perTh; k++ {
+				m.clear(tid, k)
+			}
+		}
+		for tid := 0; tid < nthreads; tid++ {
+			d.Scan(tid)
+			m.scan(tid)
+		}
+		if len(recycled) != len(m.recycled) {
+			return false
+		}
+		count := map[*tnode]int{}
+		for _, p := range recycled {
+			count[p]++
+		}
+		for _, p := range m.recycled {
+			count[p]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package lincheck records concurrent queue histories and decides whether
+// they are linearizable with respect to the sequential FIFO specification
+// (internal/model).
+//
+// Linearizability (Herlihy & Wing 1990) is the correctness condition the
+// paper proves for its queue in §5. This package provides the machinery to
+// check it mechanically on real executions: a low-overhead Recorder that
+// workers call around each operation, and a Checker implementing the
+// Wing–Gong search with the memoization of Lowe ("Testing for
+// linearizability", CCPE 2017): depth-first enumeration of linearization
+// orders, pruned by a seen-set keyed on (linearized-set, spec state).
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two queue operations.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Enq Kind = iota
+	Deq
+)
+
+// String returns "enq" or "deq".
+func (k Kind) String() string {
+	if k == Enq {
+		return "enq"
+	}
+	return "deq"
+}
+
+// Op is one completed operation in a history.
+type Op struct {
+	// ID is the operation's index in the flattened history.
+	ID int
+	// TID is the recording thread.
+	TID int
+	// Kind is Enq or Deq.
+	Kind Kind
+	// Arg is the enqueued value (Enq only).
+	Arg int64
+	// Ret is the dequeued value (Deq with OK=true only).
+	Ret int64
+	// OK is false for a Deq that observed an empty queue.
+	OK bool
+	// Inv and Res are the invocation and response timestamps drawn
+	// from a single global atomic clock, so cross-thread event order
+	// is a legal real-time order.
+	Inv, Res int64
+}
+
+func (o Op) String() string {
+	switch {
+	case o.Kind == Enq:
+		return fmt.Sprintf("t%d enq(%d) @[%d,%d]", o.TID, o.Arg, o.Inv, o.Res)
+	case o.OK:
+		return fmt.Sprintf("t%d deq()=%d @[%d,%d]", o.TID, o.Ret, o.Inv, o.Res)
+	default:
+		return fmt.Sprintf("t%d deq()=empty @[%d,%d]", o.TID, o.Inv, o.Res)
+	}
+}
+
+// Recorder collects per-thread operation logs with a shared logical clock.
+// Workers call BeginEnq/BeginDeq immediately before invoking the queue and
+// the matching End immediately after it returns. Each thread must use its
+// own tid; a thread's calls must be sequential.
+type Recorder struct {
+	clock atomic.Int64
+	logs  []threadLog
+}
+
+type threadLog struct {
+	ops []Op
+	_   [64]byte // keep threads' append targets off each other's lines
+}
+
+// NewRecorder creates a recorder for nthreads threads, each expected to
+// record about opsPerThread operations (a capacity hint).
+func NewRecorder(nthreads, opsPerThread int) *Recorder {
+	r := &Recorder{logs: make([]threadLog, nthreads)}
+	for i := range r.logs {
+		r.logs[i].ops = make([]Op, 0, opsPerThread)
+	}
+	return r
+}
+
+// Token identifies an in-flight operation between Begin and End.
+type Token struct {
+	tid, idx int
+}
+
+// BeginEnq records the invocation of enq(arg) by tid.
+func (r *Recorder) BeginEnq(tid int, arg int64) Token {
+	l := &r.logs[tid]
+	l.ops = append(l.ops, Op{TID: tid, Kind: Enq, Arg: arg, Inv: r.clock.Add(1)})
+	return Token{tid: tid, idx: len(l.ops) - 1}
+}
+
+// BeginDeq records the invocation of deq() by tid.
+func (r *Recorder) BeginDeq(tid int) Token {
+	l := &r.logs[tid]
+	l.ops = append(l.ops, Op{TID: tid, Kind: Deq, Inv: r.clock.Add(1)})
+	return Token{tid: tid, idx: len(l.ops) - 1}
+}
+
+// EndEnq records the response of the enqueue identified by t.
+func (r *Recorder) EndEnq(t Token) {
+	op := &r.logs[t.tid].ops[t.idx]
+	op.OK = true
+	op.Res = r.clock.Add(1)
+}
+
+// EndDeq records the response of the dequeue identified by t.
+func (r *Recorder) EndDeq(t Token, ret int64, ok bool) {
+	op := &r.logs[t.tid].ops[t.idx]
+	op.Ret, op.OK = ret, ok
+	op.Res = r.clock.Add(1)
+}
+
+// History flattens the per-thread logs into one history sorted by
+// invocation time and assigns operation IDs. Call only after all workers
+// finished; operations missing a response are dropped (a crashed worker's
+// pending op may linearize or not — the checker here targets complete
+// histories produced by joined workers).
+func (r *Recorder) History() []Op {
+	var all []Op
+	for t := range r.logs {
+		for _, op := range r.logs[t].ops {
+			if op.Res != 0 {
+				all = append(all, op)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Inv < all[j].Inv })
+	for i := range all {
+		all[i].ID = i
+	}
+	return all
+}

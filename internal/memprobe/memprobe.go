@@ -1,0 +1,52 @@
+// Package memprobe measures live-heap occupancy, reproducing the paper's
+// space-overhead methodology (§4, Figure 10).
+//
+// The paper used Java's -verbose:gc statistics: "These statistics include
+// information on the size of live objects in the heap", sampled while one
+// thread periodically invoked the collector. The Go equivalent is a
+// forced collection followed by reading MemStats.HeapAlloc, which after a
+// completed GC counts reachable (live) bytes plus the float garbage
+// allocated since the collection finished — the same quantity the JVM's
+// post-GC heap statistic reports.
+package memprobe
+
+import (
+	"runtime"
+	"time"
+)
+
+// LiveHeap forces a full collection and returns the bytes of live heap
+// objects (plus whatever was allocated during the call — unavoidable in a
+// concurrent process, and present in the paper's methodology too).
+func LiveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// Sample takes n LiveHeap samples separated by interval while other
+// goroutines run, mirroring the paper's "one of the threads periodically
+// invoked GC ... nine samples for each run".
+func Sample(n int, interval time.Duration) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		out = append(out, LiveHeap())
+	}
+	return out
+}
+
+// Mean averages byte samples as a float64.
+func Mean(samples []uint64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,49 @@
+package memprobe
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestLiveHeapSeesAllocations(t *testing.T) {
+	before := LiveHeap()
+	block := make([]byte, 16<<20)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	after := LiveHeap()
+	if after < before+8<<20 {
+		t.Fatalf("16MiB allocation invisible: %d -> %d", before, after)
+	}
+	runtime.KeepAlive(block)
+	block = nil
+	_ = block
+	released := LiveHeap()
+	if released > after-8<<20 {
+		t.Fatalf("dead block still counted: %d (was %d)", released, after)
+	}
+}
+
+func TestSampleCountAndMean(t *testing.T) {
+	s := Sample(4, time.Microsecond)
+	if len(s) != 4 {
+		t.Fatalf("%d samples", len(s))
+	}
+	m := Mean(s)
+	min, max := s[0], s[0]
+	for _, v := range s {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if m < float64(min) || m > float64(max) {
+		t.Fatalf("mean %f outside [%d,%d]", m, min, max)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}

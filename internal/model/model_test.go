@@ -1,0 +1,197 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty returned ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty returned ok")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestInterleavedGrowth(t *testing.T) {
+	// Force wraparound of the ring buffer: interleave enq/deq so head
+	// circles the backing array across several growths.
+	var q Queue
+	next, expect := int64(0), int64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.Enqueue(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != expect {
+				t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		v, ok := q.Dequeue()
+		if !ok || v != expect {
+			t.Fatalf("drain: got (%d,%v), want %d", v, ok, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d values, enqueued %d", expect, next)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Enqueue(7)
+	for i := 0; i < 3; i++ {
+		if v, ok := q.Peek(); !ok || v != 7 {
+			t.Fatalf("peek %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek removed the element")
+	}
+}
+
+func TestSnapshotAndClone(t *testing.T) {
+	var q Queue
+	for i := int64(1); i <= 5; i++ {
+		q.Enqueue(i)
+	}
+	q.Dequeue() // head moves; snapshot must respect ring offset
+	snap := q.Snapshot()
+	want := []int64{2, 3, 4, 5}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot: %v, want %v", snap, want)
+		}
+	}
+	c := q.Clone()
+	if !c.Equal(&q) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Dequeue()
+	if c.Equal(&q) {
+		t.Fatal("clone shares state with original")
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("original changed by clone mutation: len %d", got)
+	}
+}
+
+func TestEqualAndFingerprint(t *testing.T) {
+	var a, b Queue
+	for i := int64(0); i < 10; i++ {
+		a.Enqueue(i)
+		b.Enqueue(i)
+	}
+	if !a.Equal(&b) || a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal queues disagree")
+	}
+	b.Dequeue()
+	if a.Equal(&b) {
+		t.Fatal("unequal queues compare equal")
+	}
+	// Same multiset, different order, must differ.
+	var c, d Queue
+	c.Enqueue(1)
+	c.Enqueue(2)
+	d.Enqueue(2)
+	d.Enqueue(1)
+	if c.Equal(&d) {
+		t.Fatal("order ignored by Equal")
+	}
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("fingerprint is order-insensitive")
+	}
+}
+
+func TestEqualDifferentRingOffsets(t *testing.T) {
+	// Two queues with identical contents but different internal head
+	// offsets must be Equal.
+	var a, b Queue
+	for i := int64(0); i < 4; i++ {
+		a.Enqueue(i)
+	}
+	b.Enqueue(-1)
+	b.Dequeue()
+	for i := int64(0); i < 4; i++ {
+		b.Enqueue(i)
+	}
+	if !a.Equal(&b) {
+		t.Fatalf("offset changed equality: %v vs %v", a.Snapshot(), b.Snapshot())
+	}
+}
+
+// TestMatchesSliceModel cross-checks the ring-buffer queue against the
+// simplest possible specification: a slice.
+func TestMatchesSliceModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	if err := quick.Check(func(ops []op) bool {
+		var q Queue
+		var ref []int64
+		for _, o := range ops {
+			if o.Enq {
+				q.Enqueue(o.V)
+				ref = append(ref, o.V)
+			} else {
+				v, ok := q.Dequeue()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		snap := q.Snapshot()
+		if len(snap) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if snap[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package mpsc implements a multiple-enqueuer single-dequeuer FIFO
+// queue — the design point of Jayanti & Petrovic's wait-free queue
+// (FSTTCS 2005) in the paper's related-work lineage: the mirror image of
+// David's SPMC queue, and the last restricted-concurrency rung below the
+// fully general Kogan–Petrank MPMC queue.
+//
+// The construction here is ticket-based rather than the
+// tournament-of-timestamps of [13] (which needs LL/SC-style primitives):
+// enqueuers claim a slot with fetch-and-add and publish the value with a
+// release store; the single dequeuer owns all consumption state and
+// resolves overtaking purely locally.
+//
+// Progress guarantees:
+//
+//   - Enqueue is UNCONDITIONALLY wait-free: one fetch-and-add, one
+//     bounded segment walk, one store. (Strictly stronger than the
+//     spmc package's enqueuer, interestingly — the asymmetry is which
+//     side must resolve conflicts, and here the resolver is the single
+//     dequeuer, which needs no CAS at all.)
+//   - Dequeue is wait-free with per-call work bounded by the number of
+//     enqueuers concurrently mid-publication (the "skipped" set) plus
+//     one: a claimed-but-unpublished slot is skipped and revisited, so
+//     a stalled enqueuer never blocks the dequeuer; each slot is
+//     examined O(1) amortized times.
+//
+// Linearization: an enqueue whose slot the dequeuer found published in
+// ticket order linearizes at its fetch-and-add; a skipped-then-taken
+// enqueue linearizes at its publication (it was provably concurrent
+// with every operation that was ordered ahead of it — its ticket's slot
+// was empty while they completed, see the package tests). A dequeue
+// linearizes at its slot read (value) or at its watermark re-check
+// (empty).
+package mpsc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	slotEmpty int32 = iota
+	slotFull
+	slotTaken
+)
+
+// segSize is the number of slots per segment.
+const segSize = 1024
+
+type slot[T any] struct {
+	state atomic.Int32
+	value T
+}
+
+type segment[T any] struct {
+	base int64
+	next atomic.Pointer[segment[T]]
+	s    [segSize]slot[T]
+	// takenCount is dequeuer-private bookkeeping for retirement.
+	takenCount int
+}
+
+// Queue is the MPSC queue. Any number of goroutines may call Enqueue
+// concurrently; exactly one goroutine may call Dequeue.
+type Queue[T any] struct {
+	// ticket hands each enqueue a distinct slot index.
+	ticket atomic.Int64
+	_      [56]byte
+	// enqSeg is a hint to the newest segment, advanced by enqueuers.
+	enqSeg atomic.Pointer[segment[T]]
+
+	// headSeg is the oldest retained segment. Written only by the
+	// dequeuer, but read by enqueuers as a fallback anchor (see
+	// Enqueue), hence atomic. Invariant: headSeg.base never exceeds
+	// the smallest outstanding (claimed, unconsumed) ticket, because
+	// a segment is retired only when all its slots are taken.
+	headSeg atomic.Pointer[segment[T]]
+
+	// Dequeuer-private state (single consumer): no atomics needed.
+	cursor  int64       // next unexamined slot index
+	skipped []int64     // claimed-but-unpublished slots, ascending
+	curSeg  *segment[T] // segment cache for cursor walking
+}
+
+// New returns an empty MPSC queue.
+func New[T any]() *Queue[T] {
+	first := &segment[T]{base: 0}
+	q := &Queue[T]{curSeg: first}
+	q.headSeg.Store(first)
+	q.enqSeg.Store(first)
+	return q
+}
+
+// Name identifies the algorithm in benchmark reports.
+func (q *Queue[T]) Name() string { return "MPSC (ticket)" }
+
+// findSeg walks (and extends) the segment list from start to index i.
+func findSeg[T any](start *segment[T], i int64) *segment[T] {
+	seg := start
+	for i >= seg.base+segSize {
+		next := seg.next.Load()
+		if next == nil {
+			candidate := &segment[T]{base: seg.base + segSize}
+			if seg.next.CompareAndSwap(nil, candidate) {
+				next = candidate
+			} else {
+				next = seg.next.Load()
+			}
+		}
+		seg = next
+	}
+	if i < seg.base {
+		panic(fmt.Sprintf("mpsc: index %d before segment base %d", i, seg.base))
+	}
+	return seg
+}
+
+// Enqueue appends v. Safe for any number of concurrent callers.
+func (q *Queue[T]) Enqueue(v T) {
+	t := q.ticket.Add(1) - 1
+	// The tail hint is best-effort and may have advanced past a slow
+	// enqueuer's ticket (segments cannot be walked backwards); fall
+	// back to the head anchor, which never passes an outstanding
+	// ticket.
+	start := q.enqSeg.Load()
+	if start.base > t {
+		start = q.headSeg.Load()
+	}
+	seg := findSeg(start, t)
+	// Advance the shared hint monotonically (best effort).
+	if hint := q.enqSeg.Load(); seg.base > hint.base {
+		q.enqSeg.CompareAndSwap(hint, seg)
+	}
+	sl := &seg.s[t-seg.base]
+	sl.value = v
+	sl.state.Store(slotFull) // release: publishes the value
+}
+
+// Dequeue removes the oldest available element; ok=false when every
+// claimed slot is either consumed or still unpublished (the queue is
+// linearizably empty). Only the single owning consumer may call it.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	// 1. Revisit previously skipped slots, oldest first: FIFO among
+	// published values prefers the lowest ticket.
+	for i, idx := range q.skipped {
+		seg := findSeg(q.headSeg.Load(), idx)
+		sl := &seg.s[idx-seg.base]
+		if sl.state.Load() == slotFull {
+			v = sl.value
+			sl.state.Store(slotTaken)
+			seg.takenCount++
+			q.skipped = append(q.skipped[:i], q.skipped[i+1:]...)
+			q.retire()
+			return v, true
+		}
+	}
+	// 2. Scan forward from the cursor up to the tickets issued before
+	// this call (the watermark). Slots past the watermark belong to
+	// operations that started after us.
+	watermark := q.ticket.Load()
+	for q.cursor < watermark {
+		q.curSeg = findSeg(q.curSeg, q.cursor)
+		sl := &q.curSeg.s[q.cursor-q.curSeg.base]
+		switch sl.state.Load() {
+		case slotFull:
+			v = sl.value
+			sl.state.Store(slotTaken)
+			q.curSeg.takenCount++
+			q.cursor++
+			q.retire()
+			return v, true
+		default: // claimed but not yet published: skip, revisit later
+			q.skipped = append(q.skipped, q.cursor)
+			q.cursor++
+		}
+	}
+	// Nothing published: linearize as empty. Slots in q.skipped belong
+	// to enqueues still mid-publication, i.e. concurrent with us.
+	return v, false
+}
+
+// retire releases fully consumed leading segments to the GC. Skipped
+// slots pin their segment: a segment retires only when all its slots
+// are taken.
+func (q *Queue[T]) retire() {
+	for {
+		head := q.headSeg.Load()
+		if head.takenCount != segSize {
+			return
+		}
+		next := head.next.Load()
+		if next == nil {
+			return
+		}
+		q.headSeg.Store(next)
+		if q.curSeg.base < next.base {
+			q.curSeg = next
+		}
+	}
+}
+
+// Len reports a racy snapshot of published-but-unconsumed values.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for seg := q.headSeg.Load(); seg != nil; seg = seg.next.Load() {
+		for i := range seg.s {
+			if seg.s[i].state.Load() == slotFull {
+				n++
+			}
+		}
+	}
+	return n
+}

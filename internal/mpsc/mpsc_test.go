@@ -1,0 +1,265 @@
+package mpsc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int64]()
+	if q.Name() == "" {
+		t.Fatal("empty name")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("(%d,%v) want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on drained succeeded")
+	}
+}
+
+func TestSegmentBoundaryAndRetirement(t *testing.T) {
+	q := New[int64]()
+	n := int64(4*segSize + 5)
+	for i := int64(0); i < n; i++ {
+		q.Enqueue(i)
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("at %d: (%d,%v)", i, v, ok)
+		}
+	}
+	if base := q.headSeg.Load().base; base < 3*segSize {
+		t.Fatalf("head segment base %d: retirement not happening", base)
+	}
+}
+
+func TestQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	if err := quick.Check(func(ops []op) bool {
+		q := New[int64]()
+		var ref []int64
+		for _, o := range ops {
+			if o.Enq {
+				q.Enqueue(o.V)
+				ref = append(ref, o.V)
+			} else {
+				v, ok := q.Dequeue()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+		}
+		return q.Len() == len(ref)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyProducersOneConsumer: the queue's defining configuration.
+// Conservation (exactly once) plus per-producer order.
+func TestManyProducersOneConsumer(t *testing.T) {
+	const producers = 6
+	perProducer := 30000
+	if testing.Short() {
+		perProducer = 3000
+	}
+	q := New[int64]()
+	total := producers * perProducer
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(int64(p)<<32 | int64(i))
+			}
+		}(p)
+	}
+	lastSeen := make([]int64, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	seen := make(map[int64]bool, total)
+	got := 0
+	for got < total {
+		v, ok := q.Dequeue()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("value %x duplicated", v)
+		}
+		seen[v] = true
+		p := int(v >> 32)
+		s := v & 0xffffffff
+		if s <= lastSeen[p] {
+			t.Fatalf("producer %d: %d after %d", p, s, lastSeen[p])
+		}
+		lastSeen[p] = s
+		got++
+	}
+	wg.Wait()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("residual value")
+	}
+}
+
+// TestStalledProducerDoesNotBlockConsumer: an enqueuer parked between
+// its ticket claim and its publication must not prevent the consumer
+// from taking values published by others — the skip mechanism.
+func TestStalledProducerDoesNotBlockConsumer(t *testing.T) {
+	q := New[int64]()
+	// Simulate the stall deterministically: claim a ticket by hand.
+	stalled := q.ticket.Add(1) - 1 // ticket 0 claimed, never published (yet)
+	q.Enqueue(100)                 // ticket 1, published
+	q.Enqueue(101)                 // ticket 2, published
+
+	if v, ok := q.Dequeue(); !ok || v != 100 {
+		t.Fatalf("(%d,%v): consumer blocked by stalled producer", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 101 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("phantom: stalled slot returned a value")
+	}
+	// The stalled producer finally publishes; its value becomes
+	// available (linearized at publication).
+	seg := findSeg(q.headSeg.Load(), stalled)
+	seg.s[stalled-seg.base].value = 99
+	seg.s[stalled-seg.base].state.Store(slotFull)
+	if v, ok := q.Dequeue(); !ok || v != 99 {
+		t.Fatalf("(%d,%v): skipped slot never revisited", v, ok)
+	}
+	if len(q.skipped) != 0 {
+		t.Fatalf("skip list not drained: %v", q.skipped)
+	}
+}
+
+// TestSkippedSlotOrdering: among several skipped slots, the oldest
+// published one is taken first.
+func TestSkippedSlotOrdering(t *testing.T) {
+	q := New[int64]()
+	t0 := q.ticket.Add(1) - 1 // stalled ticket 0
+	t1 := q.ticket.Add(1) - 1 // stalled ticket 1
+	q.Enqueue(7)              // ticket 2
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	// Publish ticket 1 first, then ticket 0; both become available.
+	publish := func(idx int64, v int64) {
+		seg := findSeg(q.headSeg.Load(), idx)
+		seg.s[idx-seg.base].value = v
+		seg.s[idx-seg.base].state.Store(slotFull)
+	}
+	publish(t1, 11)
+	publish(t0, 10)
+	// Lowest ticket wins among published skipped slots.
+	if v, ok := q.Dequeue(); !ok || v != 10 {
+		t.Fatalf("(%d,%v), want 10", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 11 {
+		t.Fatalf("(%d,%v), want 11", v, ok)
+	}
+}
+
+// TestEnqueueAfterHintAdvanced exercises the slow-enqueuer fallback: a
+// ticket far behind the shared tail hint must still find its segment.
+func TestEnqueueAfterHintAdvanced(t *testing.T) {
+	q := New[int64]()
+	behind := q.ticket.Add(1) - 1 // ticket 0, unpublished
+	// Push the hint several segments ahead.
+	for i := 0; i < 2*segSize+10; i++ {
+		q.Enqueue(int64(1000 + i))
+	}
+	// Now publish the old ticket by the normal path of a slow thread:
+	// it must fall back from the advanced hint to the head anchor.
+	seg := findSeg(q.headSeg.Load(), behind)
+	if seg.base != 0 {
+		t.Fatalf("segment base %d for ticket 0", seg.base)
+	}
+	seg.s[behind].value = 5
+	seg.s[behind].state.Store(slotFull)
+	if v, ok := q.Dequeue(); !ok || v != 5 {
+		t.Fatalf("(%d,%v), want 5 (oldest ticket)", v, ok)
+	}
+}
+
+// TestConcurrentChurnConservation: sustained concurrent use across
+// segment boundaries with strict accounting.
+func TestConcurrentChurnConservation(t *testing.T) {
+	const producers = 4
+	rounds := 5 * segSize
+	if testing.Short() {
+		rounds = segSize / 2
+	}
+	q := New[int64]()
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					q.Enqueue(produced.Add(1))
+				}
+			}
+		}()
+	}
+	consumed := 0
+	for consumed < rounds {
+		if _, ok := q.Dequeue(); ok {
+			consumed++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	rest := 0
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			// Producers are stopped; any remaining unpublished
+			// slots are impossible now, so one empty means done.
+			break
+		}
+		rest++
+	}
+	if int64(consumed+rest) != produced.Load() {
+		t.Fatalf("conservation: consumed=%d rest=%d produced=%d", consumed, rest, produced.Load())
+	}
+}
+
+func BenchmarkMPSCPairs(b *testing.B) {
+	q := New[int64]()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(int64(i))
+		q.Dequeue()
+	}
+}

@@ -1,0 +1,142 @@
+package msqueue
+
+import (
+	"sync/atomic"
+
+	"wfq/internal/hazard"
+	"wfq/internal/pool"
+)
+
+// HPQueue is the Michael–Scott lock-free queue with hazard-pointer node
+// reclamation — the configuration Michael's original hazard-pointers
+// paper uses as its running example, and the natural non-GC counterpart
+// to the wait-free HPQueue in internal/core. It exists so the §3.4
+// comparison can be made from both sides: GC-vs-HP for the wait-free
+// queue AND for its lock-free baseline.
+//
+// Unlike the GC-backed Queue, operations take a thread id in
+// [0, nthreads) to index hazard slots and free lists.
+type HPQueue[T any] struct {
+	headRef padPtr[T]
+	tailRef padPtr[T]
+	nthr    int
+
+	dom   *hazard.Domain[node[T]]
+	nodes *pool.Pool[node[T]]
+}
+
+type padPtr[T any] struct {
+	v atomic.Pointer[node[T]]
+	_ [56]byte
+}
+
+// NewHP creates a hazard-pointer-backed Michael–Scott queue for up to
+// nthreads threads. poolCap bounds per-thread free lists and
+// scanThreshold tunes the hazard domain (<=0 selects defaults).
+func NewHP[T any](nthreads, poolCap, scanThreshold int) *HPQueue[T] {
+	if nthreads <= 0 {
+		panic("msqueue: nthreads must be positive")
+	}
+	q := &HPQueue[T]{nthr: nthreads}
+	q.nodes = pool.New[node[T]](nthreads, poolCap, func() *node[T] { return &node[T]{} })
+	q.dom = hazard.NewDomain[node[T]](nthreads, 2, scanThreshold, func(tid int, n *node[T]) {
+		q.nodes.Put(tid, n)
+	})
+	sentinel := &node[T]{}
+	q.headRef.v.Store(sentinel)
+	q.tailRef.v.Store(sentinel)
+	return q
+}
+
+// Name identifies the algorithm in benchmark reports.
+func (q *HPQueue[T]) Name() string { return "LF+HP" }
+
+// NumThreads reports the queue's thread capacity.
+func (q *HPQueue[T]) NumThreads() int { return q.nthr }
+
+// Domain exposes the hazard domain for tests and metrics.
+func (q *HPQueue[T]) Domain() *hazard.Domain[node[T]] { return q.dom }
+
+// PoolStats reports node reuse counters (hits, misses, drops).
+func (q *HPQueue[T]) PoolStats() (hits, misses, drops int64) { return q.nodes.Stats() }
+
+func (q *HPQueue[T]) checkTid(tid int) {
+	if tid < 0 || tid >= q.nthr {
+		panic("msqueue: tid out of range")
+	}
+}
+
+// Enqueue appends v on behalf of thread tid.
+func (q *HPQueue[T]) Enqueue(tid int, v T) {
+	q.checkTid(tid)
+	n := q.nodes.Get(tid)
+	n.value = v
+	n.next.Store(nil)
+	for {
+		// Protect tail before dereferencing: a node can only be
+		// recycled after leaving the list, and the re-validation
+		// inside Protect pins it while it is still the tail.
+		last := q.dom.Protect(tid, 0, &q.tailRef.v)
+		next := last.next.Load()
+		if last != q.tailRef.v.Load() {
+			continue
+		}
+		if next == nil {
+			if last.next.CompareAndSwap(nil, n) {
+				q.tailRef.v.CompareAndSwap(last, n)
+				q.dom.ClearAll(tid)
+				return
+			}
+		} else {
+			q.tailRef.v.CompareAndSwap(last, next)
+		}
+	}
+}
+
+// Dequeue removes the oldest element on behalf of thread tid; ok=false
+// when the queue was observed empty.
+func (q *HPQueue[T]) Dequeue(tid int) (v T, ok bool) {
+	q.checkTid(tid)
+	for {
+		first := q.dom.Protect(tid, 0, &q.headRef.v)
+		last := q.tailRef.v.Load()
+		next := first.next.Load()
+		if first != q.headRef.v.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				q.dom.ClearAll(tid)
+				return v, false
+			}
+			q.tailRef.v.CompareAndSwap(last, next)
+			continue
+		}
+		// Protect next, then re-validate: if head still equals
+		// first, next is still in the list, so it was not retired
+		// before our hazard was visible and reading next.value is
+		// safe even against recycling.
+		q.dom.Set(tid, 1, next)
+		if q.headRef.v.Load() != first {
+			continue
+		}
+		val := next.value
+		if q.headRef.v.CompareAndSwap(first, next) {
+			// The winner of the head CAS owns the old sentinel's
+			// retirement (Michael's protocol).
+			q.dom.Retire(tid, first)
+			q.dom.ClearAll(tid)
+			return val, true
+		}
+	}
+}
+
+// Len counts elements by walking the list; racy snapshot for quiescent
+// tests only (the walk holds no hazards).
+func (q *HPQueue[T]) Len() int {
+	n := 0
+	for cur := q.headRef.v.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

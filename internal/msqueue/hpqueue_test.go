@@ -1,0 +1,161 @@
+package msqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"wfq/internal/xrand"
+)
+
+func TestHPSequentialFIFO(t *testing.T) {
+	q := NewHP[int64](2, 64, 8)
+	if q.Name() != "LF+HP" || q.NumThreads() != 2 {
+		t.Fatalf("metadata: %q/%d", q.Name(), q.NumThreads())
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := int64(0); i < 500; i++ {
+		q.Enqueue(0, i)
+	}
+	if q.Len() != 500 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 500; i++ {
+		if v, ok := q.Dequeue(1); !ok || v != i {
+			t.Fatalf("(%d,%v) want %d", v, ok, i)
+		}
+	}
+}
+
+func TestHPValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewHP(0,...) did not panic")
+			}
+		}()
+		NewHP[int64](0, 0, 0)
+	}()
+	q := NewHP[int64](2, 0, 0)
+	for _, bad := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("tid %d did not panic", bad)
+				}
+			}()
+			q.Enqueue(bad, 1)
+		}()
+	}
+}
+
+func TestHPNodesRecycled(t *testing.T) {
+	q := NewHP[int64](2, 64, 8)
+	for i := int64(0); i < 1000; i++ {
+		q.Enqueue(0, i)
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("(%d,%v) want %d", v, ok, i)
+		}
+	}
+	hits, misses, _ := q.PoolStats()
+	if hits == 0 || misses > 200 {
+		t.Fatalf("reuse not happening: hits=%d misses=%d", hits, misses)
+	}
+	scans, freed := q.Domain().Stats()
+	if scans == 0 || freed == 0 {
+		t.Fatalf("domain idle: scans=%d freed=%d", scans, freed)
+	}
+}
+
+func TestHPQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	if err := quick.Check(func(ops []op) bool {
+		q := NewHP[int64](2, 8, 2) // tiny pool: aggressive recycling
+		var ref []int64
+		for _, o := range ops {
+			if o.Enq {
+				q.Enqueue(0, o.V)
+				ref = append(ref, o.V)
+			} else {
+				v, ok := q.Dequeue(1)
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+		}
+		return q.Len() == len(ref)
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHPExactlyOnceUnderRecycling is the ABA/use-after-recycle stress:
+// unique values, tiny pools, heavy churn — any recycling bug shows up as
+// a duplicate, an unknown value, or a lost value.
+func TestHPExactlyOnceUnderRecycling(t *testing.T) {
+	const nthreads = 8
+	perThread := 4000
+	if testing.Short() {
+		perThread = 400
+	}
+	q := NewHP[int64](nthreads, 16, 4)
+	var next atomic.Int64
+	var consumed sync.Map
+	var dups, unknown, deqOK atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(tid)*31 + 7)
+			for i := 0; i < perThread; i++ {
+				if rng.Bool() {
+					q.Enqueue(tid, next.Add(1))
+				} else if v, ok := q.Dequeue(tid); ok {
+					deqOK.Add(1)
+					if v <= 0 || v > next.Load() {
+						unknown.Add(1)
+					}
+					if _, dup := consumed.LoadOrStore(v, tid); dup {
+						dups.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		deqOK.Add(1)
+		if _, dup := consumed.LoadOrStore(v, -1); dup {
+			dups.Add(1)
+		}
+	}
+	if unknown.Load() != 0 || dups.Load() != 0 || deqOK.Load() != next.Load() {
+		t.Fatalf("unknown=%d dups=%d consumed=%d issued=%d",
+			unknown.Load(), dups.Load(), deqOK.Load(), next.Load())
+	}
+}
+
+func BenchmarkHPPairs(b *testing.B) {
+	q := NewHP[int64](1, 0, 0)
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(0, int64(i))
+		q.Dequeue(0)
+	}
+}

@@ -1,0 +1,169 @@
+// Package msqueue implements the two concurrent queues of Michael & Scott
+// (PODC 1996): the lock-free linked-list queue that the paper uses as its
+// baseline in every figure ("LF"), and the two-lock blocking queue from
+// the same publication.
+//
+// The lock-free implementation follows the version in Herlihy & Shavit,
+// "The Art of Multiprocessor Programming" — the exact code the paper
+// benchmarks against ("For the lock-free queue, we used the Java
+// implementation exactly as it appears in [11]"). Like the paper's Java
+// version, and like the wait-free queue built on top of this design, it
+// relies on the host garbage collector for node reclamation and ABA
+// avoidance.
+package msqueue
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wfq/internal/yield"
+)
+
+// node is a singly-linked list element.
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// Queue is the Michael–Scott lock-free FIFO queue. Use New to create one;
+// all methods are safe for any number of concurrent goroutines.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	_    [56]byte
+	tail atomic.Pointer[node[T]]
+	_    [56]byte
+}
+
+// New returns an empty lock-free queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Name identifies the algorithm in benchmark reports; "LF" matches the
+// paper's figure legends.
+func (q *Queue[T]) Name() string { return "LF" }
+
+// Enqueue appends v to the tail of the queue.
+//
+// The operation is lazy, in the sense the paper builds on: the CAS that
+// links the node in (the linearization point) and the CAS that advances
+// tail are separate, and any thread finding tail behind swings it forward
+// — the original helping mechanism the wait-free algorithm generalizes.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{value: v}
+	for {
+		last := q.tail.Load()
+		next := last.next.Load()
+		if last != q.tail.Load() {
+			continue
+		}
+		if next == nil {
+			yield.At(yield.MSBeforeAppend, -1, -1)
+			if last.next.CompareAndSwap(nil, n) {
+				// Linearized; fix tail (failure means someone
+				// else already advanced it).
+				q.tail.CompareAndSwap(last, n)
+				return
+			}
+		} else {
+			// Tail is lagging: help the in-progress enqueue.
+			q.tail.CompareAndSwap(last, next)
+		}
+	}
+}
+
+// Dequeue removes the oldest element; ok is false when the queue was
+// observed empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		first := q.head.Load()
+		last := q.tail.Load()
+		next := first.next.Load()
+		if first != q.head.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				return v, false // empty
+			}
+			// Tail is lagging behind an in-progress enqueue.
+			q.tail.CompareAndSwap(last, next)
+			continue
+		}
+		val := next.value
+		yield.At(yield.MSBeforeHeadCAS, -1, -1)
+		if q.head.CompareAndSwap(first, next) {
+			return val, true
+		}
+	}
+}
+
+// Len counts elements by walking the list; racy snapshot for tests.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.head.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// TwoLockQueue is Michael & Scott's two-lock blocking queue: one lock
+// serializes enqueuers, a second serializes dequeuers, and the sentinel
+// node keeps the two ends from interfering. Included as the blocking
+// point of comparison in the extended benchmarks.
+type TwoLockQueue[T any] struct {
+	headMu sync.Mutex
+	head   *node[T]
+	_      [48]byte
+	tailMu sync.Mutex
+	tail   *node[T]
+}
+
+// NewTwoLock returns an empty two-lock queue.
+func NewTwoLock[T any]() *TwoLockQueue[T] {
+	sentinel := &node[T]{}
+	return &TwoLockQueue[T]{head: sentinel, tail: sentinel}
+}
+
+// Name identifies the algorithm in benchmark reports.
+func (q *TwoLockQueue[T]) Name() string { return "2-lock" }
+
+// Enqueue appends v to the tail of the queue.
+func (q *TwoLockQueue[T]) Enqueue(v T) {
+	n := &node[T]{value: v}
+	q.tailMu.Lock()
+	q.tail.next.Store(n)
+	q.tail = n
+	q.tailMu.Unlock()
+}
+
+// Dequeue removes the oldest element; ok is false when the queue was
+// observed empty.
+func (q *TwoLockQueue[T]) Dequeue() (v T, ok bool) {
+	q.headMu.Lock()
+	next := q.head.next.Load()
+	if next == nil {
+		q.headMu.Unlock()
+		return v, false
+	}
+	val := next.value
+	q.head = next
+	q.headMu.Unlock()
+	return val, true
+}
+
+// Len counts elements under the head lock; consistent only while no
+// enqueuers run.
+func (q *TwoLockQueue[T]) Len() int {
+	q.headMu.Lock()
+	defer q.headMu.Unlock()
+	n := 0
+	for cur := q.head.next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

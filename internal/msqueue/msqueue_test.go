@@ -1,0 +1,261 @@
+package msqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wfq/internal/yield"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int64]()
+	if q.Name() != "LF" {
+		t.Fatalf("name %q", q.Name())
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := int64(0); i < 1000; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on drained succeeded")
+	}
+}
+
+func TestTwoLockSequentialFIFO(t *testing.T) {
+	q := NewTwoLock[int64]()
+	if q.Name() != "2-lock" {
+		t.Fatalf("name %q", q.Name())
+	}
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("(%d,%v)", v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+}
+
+func TestQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	check := func(fresh func() (func(int64), func() (int64, bool))) func(ops []op) bool {
+		return func(ops []op) bool {
+			enq, deq := fresh()
+			var ref []int64
+			for _, o := range ops {
+				if o.Enq {
+					enq(o.V)
+					ref = append(ref, o.V)
+				} else {
+					v, ok := deq()
+					if ok != (len(ref) > 0) {
+						return false
+					}
+					if ok {
+						if v != ref[0] {
+							return false
+						}
+						ref = ref[1:]
+					}
+				}
+			}
+			return true
+		}
+	}
+	t.Run("lockfree", func(t *testing.T) {
+		if err := quick.Check(check(func() (func(int64), func() (int64, bool)) {
+			q := New[int64]()
+			return q.Enqueue, q.Dequeue
+		}), &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("twolock", func(t *testing.T) {
+		if err := quick.Check(check(func() (func(int64), func() (int64, bool)) {
+			q := NewTwoLock[int64]()
+			return q.Enqueue, q.Dequeue
+		}), &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// exactlyOnce drives producers and consumers concurrently and asserts no
+// value is lost or duplicated — the conservation law both queues share.
+func exactlyOnce(t *testing.T, enq func(int64), deq func() (int64, bool)) {
+	t.Helper()
+	const producers = 4
+	const consumers = 4
+	const perProducer = 25000
+	const total = producers * perProducer
+
+	var wg sync.WaitGroup
+	var consumed sync.Map
+	var consumedCount, produced int64
+	var mu sync.Mutex
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				enq(int64(p*perProducer + i))
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for {
+				mu.Lock()
+				done := consumedCount >= total
+				mu.Unlock()
+				if done {
+					break
+				}
+				v, ok := deq()
+				if !ok {
+					runtime.Gosched() // empty: let producers run on single-core hosts
+					continue
+				}
+				if _, dup := consumed.LoadOrStore(v, true); dup {
+					t.Errorf("value %d consumed twice", v)
+					return
+				}
+				local++
+				mu.Lock()
+				consumedCount++
+				mu.Unlock()
+			}
+			_ = local
+		}()
+	}
+	wg.Wait()
+	_ = produced
+	count := 0
+	consumed.Range(func(_, _ any) bool { count++; return true })
+	if count != total {
+		t.Fatalf("consumed %d distinct values, want %d", count, total)
+	}
+}
+
+func TestLockFreeExactlyOnce(t *testing.T) {
+	q := New[int64]()
+	exactlyOnce(t, q.Enqueue, q.Dequeue)
+}
+
+func TestTwoLockExactlyOnce(t *testing.T) {
+	q := NewTwoLock[int64]()
+	exactlyOnce(t, q.Enqueue, q.Dequeue)
+}
+
+// TestPerProducerOrder: FIFO implies each producer's values are consumed
+// in the order produced (single consumer variant for determinism).
+func TestPerProducerOrder(t *testing.T) {
+	q := New[int64]()
+	const producers = 4
+	const perProducer = 20000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(int64(p)<<32 | int64(i))
+			}
+		}(p)
+	}
+	lastSeen := make([]int64, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	got := 0
+	for got < producers*perProducer {
+		v, ok := q.Dequeue()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		p := int(v >> 32)
+		seq := v & 0xffffffff
+		if seq <= lastSeen[p] {
+			t.Fatalf("producer %d: value %d arrived after %d", p, seq, lastSeen[p])
+		}
+		lastSeen[p] = seq
+		got++
+	}
+	wg.Wait()
+}
+
+// TestLaggingTailHelped forces the window between the two enqueue CASes
+// with the yield hook and checks that a concurrent dequeuer helps swing
+// the tail rather than spinning forever.
+func TestLaggingTailHelped(t *testing.T) {
+	q := New[int64]()
+	q.Enqueue(1)
+
+	paused := make(chan struct{})
+	resume := make(chan struct{})
+	fired := false
+	prev := yield.Set(func(p yield.Point, _, _ int) {
+		if p == yield.MSBeforeHeadCAS && !fired {
+			fired = true
+			close(paused)
+			<-resume
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan int64)
+	go func() {
+		v, _ := q.Dequeue() // parks right before its head CAS
+		done <- v
+	}()
+	<-paused
+	// While the dequeuer is parked, a second enqueue and dequeue must
+	// still complete (lock-freedom of the other threads).
+	yield.Set(prev) // stop intercepting for the helper ops below
+	q.Enqueue(2)
+	close(resume)
+	v := <-done
+	if v != 1 {
+		t.Fatalf("parked dequeuer got %d, want 1", v)
+	}
+	if v2, ok := q.Dequeue(); !ok || v2 != 2 {
+		t.Fatalf("second dequeue: (%d,%v)", v2, ok)
+	}
+}
+
+func BenchmarkMSQueueEnqDeqPairs(b *testing.B) {
+	q := New[int64]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+			q.Dequeue()
+		}
+	})
+}

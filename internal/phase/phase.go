@@ -1,0 +1,65 @@
+// Package phase implements the phase-number providers of §3.3 of the
+// paper.
+//
+// Every operation on the wait-free queue first chooses a phase number that
+// is strictly greater than the phase of any operation whose choice
+// completed earlier — the "doorway" of Lamport's Bakery algorithm. The base
+// algorithm computes it by scanning the state array (maxPhase()+1); the
+// second optimization replaces the scan with a shared counter bumped by CAS
+// or fetch-and-add. This package provides the counter flavours; the scan
+// flavour lives in internal/core because it needs access to the state
+// array itself.
+package phase
+
+import "sync/atomic"
+
+// Provider hands out monotonically non-decreasing phase numbers such that
+// a Next() call that starts after another Next() call returned observes a
+// value at least as large. Implementations must be safe for concurrent use
+// by any number of goroutines and must be wait-free.
+type Provider interface {
+	// Next returns the phase number to use for a new operation.
+	Next() int64
+}
+
+// CAS is the CAS-bumped counter of §3.3: each thread reads the counter,
+// and tries to install value+1 with a single compare-and-swap. Per
+// footnote 3 of the paper, the thread does not retry on failure — a failed
+// CAS means some concurrent thread installed the same value, and sharing a
+// phase number with a concurrent operation is harmless (helping is keyed
+// on "phase <= mine", and the doorway argument only needs operations that
+// are strictly later to get strictly larger phases).
+type CAS struct {
+	c atomic.Int64
+}
+
+// NewCAS returns a CAS provider starting at phase 1.
+func NewCAS() *CAS { return &CAS{} }
+
+// Next implements Provider. Exactly one CAS attempt: wait-free with a
+// constant step bound.
+func (p *CAS) Next() int64 {
+	cur := p.c.Load()
+	p.c.CompareAndSwap(cur, cur+1)
+	return cur + 1
+}
+
+// FAA is the fetch-and-add alternative mentioned in §3.3. Every caller
+// receives a distinct phase number. On machines with a native atomic add
+// (amd64 XADD, arm64 LDADD) this is both wait-free and contention-optimal.
+type FAA struct {
+	c atomic.Int64
+}
+
+// NewFAA returns an FAA provider starting at phase 1.
+func NewFAA() *FAA { return &FAA{} }
+
+// Next implements Provider.
+func (p *FAA) Next() int64 { return p.c.Add(1) }
+
+// Fixed always returns the same phase. It exists for tests that need to
+// force phase collisions deterministically.
+type Fixed int64
+
+// Next implements Provider.
+func (f Fixed) Next() int64 { return int64(f) }

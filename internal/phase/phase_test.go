@@ -1,0 +1,161 @@
+package phase
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestCASMonotoneSequential(t *testing.T) {
+	p := NewCAS()
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		ph := p.Next()
+		if ph < prev {
+			t.Fatalf("phase went backwards: %d after %d", ph, prev)
+		}
+		if ph != prev+1 {
+			t.Fatalf("sequential CAS provider must increment by 1: %d after %d", ph, prev)
+		}
+		prev = ph
+	}
+}
+
+func TestFAAUniqueSequential(t *testing.T) {
+	p := NewFAA()
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		ph := p.Next()
+		if seen[ph] {
+			t.Fatalf("FAA repeated phase %d", ph)
+		}
+		seen[ph] = true
+	}
+}
+
+// TestDoorwayProperty checks the property wait-freedom rests on (§3.1,
+// §5.3): a Next() that begins after another Next() returned yields a value
+// >= the earlier one. We check the concurrent-safety half operationally:
+// under heavy concurrency the counter never decreases between successive
+// calls of one goroutine.
+func TestDoorwayProperty(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Provider
+	}{
+		{"CAS", NewCAS()},
+		{"FAA", NewFAA()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const workers = 8
+			const perWorker = 20000
+			var wg sync.WaitGroup
+			errs := make(chan string, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					prev := int64(-1)
+					for i := 0; i < perWorker; i++ {
+						ph := tc.p.Next()
+						if ph < prev {
+							errs <- "phase decreased within one thread"
+							return
+						}
+						prev = ph
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+		})
+	}
+}
+
+// TestFAAConcurrentUnique: the FAA provider must give every concurrent
+// caller a distinct phase (the stronger guarantee it advertises over CAS).
+func TestFAAConcurrentUnique(t *testing.T) {
+	p := NewFAA()
+	const workers = 8
+	const perWorker = 20000
+	out := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := make([]int64, perWorker)
+			for i := range vals {
+				vals[i] = p.Next()
+			}
+			out[w] = vals
+		}(w)
+	}
+	wg.Wait()
+	var all []int64
+	for _, vs := range out {
+		all = append(all, vs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate phase %d from FAA", all[i])
+		}
+	}
+}
+
+// TestCASAllowsSharedPhases documents the CAS provider's contract from
+// footnote 3: concurrent callers MAY receive equal phases, but the
+// counter still advances — after k serialized calls the value is k.
+func TestCASAllowsSharedPhases(t *testing.T) {
+	p := NewCAS()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	// After the storm, a fresh call must return a positive phase no
+	// larger than total calls + 1.
+	ph := p.Next()
+	if ph <= 0 || ph > workers*perWorker+1 {
+		t.Fatalf("implausible phase after concurrent use: %d", ph)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	p := Fixed(42)
+	for i := 0; i < 3; i++ {
+		if ph := p.Next(); ph != 42 {
+			t.Fatalf("Fixed returned %d", ph)
+		}
+	}
+}
+
+func BenchmarkCASNext(b *testing.B) {
+	p := NewCAS()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Next()
+		}
+	})
+}
+
+func BenchmarkFAANext(b *testing.B) {
+	p := NewFAA()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Next()
+		}
+	})
+}

@@ -1,0 +1,99 @@
+// Package pool provides per-thread free lists of recycled objects for the
+// hazard-pointer-backed queue variant.
+//
+// In a C++ port of the paper the dequeued nodes would be handed to the
+// allocator once hazard-pointer scans prove them unreachable (§3.4). Here
+// they go into a Pool instead: each thread owns a private free list that
+// only it reads and writes, so Get and Put are plain (non-atomic)
+// operations with no contention. The hazard domain's recycle callback runs
+// on the retiring thread, which is exactly the list owner, so ownership is
+// never violated. A thread whose list is empty falls back to heap
+// allocation through the New callback, and lists are capped so a thread
+// that mostly dequeues cannot hoard unbounded garbage.
+package pool
+
+// Pool is a set of per-thread free lists of *T.
+type Pool[T any] struct {
+	// New allocates a fresh object when the caller's free list is
+	// empty. Must be non-nil.
+	New func() *T
+	// cap limits each thread's list length; surplus Puts are dropped
+	// (left to the garbage collector).
+	cap   int
+	lists []freeList[T]
+	// counters for tests and the space-overhead experiment.
+	hits, misses, drops []counter
+}
+
+type freeList[T any] struct {
+	items []*T
+	_     [64]byte
+}
+
+type counter struct {
+	n int64
+	_ [56]byte
+}
+
+// New creates a pool for nthreads threads with the given per-thread
+// capacity (<=0 selects 1024) and allocation function.
+func New[T any](nthreads, capacity int, alloc func() *T) *Pool[T] {
+	if nthreads <= 0 {
+		panic("pool: nthreads must be positive")
+	}
+	if alloc == nil {
+		panic("pool: alloc must be non-nil")
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Pool[T]{
+		New:    alloc,
+		cap:    capacity,
+		lists:  make([]freeList[T], nthreads),
+		hits:   make([]counter, nthreads),
+		misses: make([]counter, nthreads),
+		drops:  make([]counter, nthreads),
+	}
+}
+
+// Get returns an object for thread tid: a recycled one when available,
+// otherwise a fresh allocation. The caller must fully re-initialize the
+// object before publishing it — recycled objects carry stale contents.
+func (p *Pool[T]) Get(tid int) *T {
+	l := &p.lists[tid]
+	if n := len(l.items); n > 0 {
+		x := l.items[n-1]
+		l.items[n-1] = nil
+		l.items = l.items[:n-1]
+		p.hits[tid].n++
+		return x
+	}
+	p.misses[tid].n++
+	return p.New()
+}
+
+// Put recycles x into thread tid's free list. Only call once the object
+// is provably unreachable by other threads (i.e. from the hazard domain's
+// recycle callback).
+func (p *Pool[T]) Put(tid int, x *T) {
+	l := &p.lists[tid]
+	if len(l.items) >= p.cap {
+		p.drops[tid].n++
+		return
+	}
+	l.items = append(l.items, x)
+}
+
+// Stats sums (reuse hits, allocator misses, capacity drops) over threads.
+func (p *Pool[T]) Stats() (hits, misses, drops int64) {
+	for i := range p.lists {
+		hits += p.hits[i].n
+		misses += p.misses[i].n
+		drops += p.drops[i].n
+	}
+	return
+}
+
+// Size reports the current length of tid's free list.
+func (p *Pool[T]) Size(tid int) int { return len(p.lists[tid].items) }

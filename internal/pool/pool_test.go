@@ -1,0 +1,104 @@
+package pool
+
+import "testing"
+
+type obj struct{ v int }
+
+func TestValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("New with 0 threads did not panic")
+			}
+		}()
+		New[obj](0, 8, func() *obj { return &obj{} })
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("New with nil alloc did not panic")
+			}
+		}()
+		New[obj](1, 8, nil)
+	}()
+}
+
+func TestGetAllocatesWhenEmpty(t *testing.T) {
+	allocs := 0
+	p := New[obj](2, 8, func() *obj { allocs++; return &obj{} })
+	a := p.Get(0)
+	b := p.Get(0)
+	if a == nil || b == nil || a == b {
+		t.Fatal("bad allocations")
+	}
+	if allocs != 2 {
+		t.Fatalf("allocs=%d, want 2", allocs)
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPutGetReuses(t *testing.T) {
+	p := New[obj](1, 8, func() *obj { return &obj{} })
+	x := p.Get(0)
+	p.Put(0, x)
+	if p.Size(0) != 1 {
+		t.Fatalf("size %d", p.Size(0))
+	}
+	y := p.Get(0)
+	if y != x {
+		t.Fatal("Get did not reuse the recycled object")
+	}
+	hits, _, _ := p.Stats()
+	if hits != 1 {
+		t.Fatalf("hits=%d", hits)
+	}
+}
+
+func TestLIFOWithinThread(t *testing.T) {
+	p := New[obj](1, 8, func() *obj { return &obj{} })
+	a, b := &obj{v: 1}, &obj{v: 2}
+	p.Put(0, a)
+	p.Put(0, b)
+	if got := p.Get(0); got != b {
+		t.Fatal("expected LIFO reuse (cache warmth)")
+	}
+	if got := p.Get(0); got != a {
+		t.Fatal("second Get did not return the older object")
+	}
+}
+
+func TestPerThreadIsolation(t *testing.T) {
+	p := New[obj](2, 8, func() *obj { return &obj{} })
+	x := &obj{}
+	p.Put(0, x)
+	if got := p.Get(1); got == x {
+		t.Fatal("thread 1 received thread 0's object")
+	}
+	if got := p.Get(0); got != x {
+		t.Fatal("thread 0 lost its recycled object")
+	}
+}
+
+func TestCapacityDrops(t *testing.T) {
+	p := New[obj](1, 2, func() *obj { return &obj{} })
+	p.Put(0, &obj{})
+	p.Put(0, &obj{})
+	p.Put(0, &obj{}) // over capacity: dropped
+	if p.Size(0) != 2 {
+		t.Fatalf("size %d, want 2", p.Size(0))
+	}
+	_, _, drops := p.Stats()
+	if drops != 1 {
+		t.Fatalf("drops=%d", drops)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	p := New[obj](1, 0, func() *obj { return &obj{} })
+	if p.cap != 1024 {
+		t.Fatalf("default cap %d", p.cap)
+	}
+}

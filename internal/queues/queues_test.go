@@ -1,0 +1,145 @@
+package queues
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMutexQueueFIFO(t *testing.T) {
+	q := NewMutexQueue(1)
+	if q.Name() != "mutex" {
+		t.Fatalf("name %q", q.Name())
+	}
+	for i := int64(0); i < 1000; i++ {
+		q.Enqueue(0, i)
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v, ok := q.Dequeue(0)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+}
+
+func TestMutexQueueWrapAround(t *testing.T) {
+	q := NewMutexQueue(1)
+	next, expect := int64(0), int64(0)
+	for r := 0; r < 40; r++ {
+		for i := 0; i < 5; i++ {
+			q.Enqueue(0, next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Dequeue(0)
+			if !ok || v != expect {
+				t.Fatalf("got (%d,%v), want %d", v, ok, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestMutexQueueConcurrentConservation(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	q := NewMutexQueue(workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := make(map[int64]int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[int64]int)
+			for i := 0; i < perWorker; i++ {
+				q.Enqueue(w, int64(w*perWorker+i))
+				if v, ok := q.Dequeue(w); ok {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			for k, c := range local {
+				got[k] += c
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for q.Len() > 0 {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		got[v]++
+	}
+	if len(got) != workers*perWorker {
+		t.Fatalf("distinct values: %d, want %d", len(got), workers*perWorker)
+	}
+	for k, c := range got {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", k, c)
+		}
+	}
+}
+
+func TestChanQueueBasics(t *testing.T) {
+	q := NewChanQueue(4)
+	if q.Name() != "chan" {
+		t.Fatalf("name %q", q.Name())
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+	q.Enqueue(0, 1)
+	q.Enqueue(0, 2)
+	if q.Len() != 2 {
+		t.Fatalf("len %d", q.Len())
+	}
+	if v, ok := q.Dequeue(0); !ok || v != 1 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	if v, ok := q.Dequeue(0); !ok || v != 2 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+}
+
+// TestMutexQueueQuickVsModel drives random op sequences against the slice
+// model (property test).
+func TestMutexQueueQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	if err := quick.Check(func(ops []op) bool {
+		q := NewMutexQueue(1)
+		var ref []int64
+		for _, o := range ops {
+			if o.Enq {
+				q.Enqueue(0, o.V)
+				ref = append(ref, o.V)
+			} else {
+				v, ok := q.Dequeue(0)
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+		}
+		return q.Len() == len(ref)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package renaming
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	ns := New(4)
+	if ns.Capacity() != 4 {
+		t.Fatalf("capacity %d", ns.Capacity())
+	}
+	id, ok := ns.Acquire()
+	if !ok || id < 0 || id >= 4 {
+		t.Fatalf("acquire: (%d,%v)", id, ok)
+	}
+	if !ns.Held(id) {
+		t.Fatal("acquired id not held")
+	}
+	ns.Release(id)
+	if ns.Held(id) {
+		t.Fatal("released id still held")
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	ns := New(8)
+	seen := make(map[int]bool)
+	for i := 0; i < 8; i++ {
+		id, ok := ns.Acquire()
+		if !ok {
+			t.Fatalf("exhausted after %d acquires of 8", i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	if _, ok := ns.Acquire(); ok {
+		t.Fatal("acquire succeeded on exhausted namespace")
+	}
+	if ns.InUse() != 8 {
+		t.Fatalf("InUse %d, want 8", ns.InUse())
+	}
+}
+
+func TestReleaseMakesReacquirable(t *testing.T) {
+	ns := New(2)
+	a, _ := ns.Acquire()
+	b, _ := ns.Acquire()
+	ns.Release(a)
+	c, ok := ns.Acquire()
+	if !ok || c != a {
+		t.Fatalf("reacquire: got (%d,%v), want (%d,true)", c, ok, a)
+	}
+	ns.Release(b)
+	ns.Release(c)
+	if ns.InUse() != 0 {
+		t.Fatalf("InUse %d after releasing all", ns.InUse())
+	}
+}
+
+func TestReleasePanics(t *testing.T) {
+	ns := New(2)
+	for _, id := range []int{-1, 2, 0 /* unheld */} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Release(%d) did not panic", id)
+				}
+			}()
+			ns.Release(id)
+		}()
+	}
+}
+
+func TestHeldOutOfRange(t *testing.T) {
+	ns := New(2)
+	if ns.Held(-1) || ns.Held(2) {
+		t.Fatal("out-of-range id reported held")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+// TestConcurrentNoAliasing is the property the queue depends on: at no
+// instant do two live holders share an id.
+func TestConcurrentNoAliasing(t *testing.T) {
+	const capacity = 8
+	const workers = 16 // oversubscribed: some Acquires may fail, must not alias
+	const rounds = 5000
+	ns := New(capacity)
+	// owner[id] tracks the current holder; slots must never be
+	// overwritten while owned.
+	var mu sync.Mutex
+	owner := make(map[int]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id, ok := ns.Acquire()
+				if !ok {
+					continue
+				}
+				mu.Lock()
+				if prev, taken := owner[id]; taken {
+					mu.Unlock()
+					t.Errorf("id %d held by both %d and %d", id, prev, w)
+					return
+				}
+				owner[id] = w
+				mu.Unlock()
+
+				mu.Lock()
+				delete(owner, id)
+				mu.Unlock()
+				ns.Release(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ns.InUse() != 0 {
+		t.Fatalf("leaked %d ids", ns.InUse())
+	}
+}
+
+// TestAcquireSucceedsUnderBoundedConcurrency: with at most capacity-1
+// concurrent holders, every Acquire must succeed (the wait-freedom-
+// under-bounded-contention contract).
+func TestAcquireSucceedsUnderBoundedConcurrency(t *testing.T) {
+	const capacity = 8
+	const workers = 7
+	const rounds = 20000
+	ns := New(capacity)
+	var wg sync.WaitGroup
+	fails := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id, ok := ns.Acquire()
+				if !ok {
+					fails <- r
+					return
+				}
+				ns.Release(id)
+			}
+		}()
+	}
+	wg.Wait()
+	close(fails)
+	for r := range fails {
+		t.Fatalf("Acquire failed at round %d with only %d/%d holders", r, workers, capacity)
+	}
+}
+
+func BenchmarkAcquireRelease(b *testing.B) {
+	ns := New(64)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id, ok := ns.Acquire()
+			if ok {
+				ns.Release(id)
+			}
+		}
+	})
+}

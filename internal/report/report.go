@@ -1,0 +1,218 @@
+// Package report renders experiment results as the tables and ASCII
+// series the command-line tools print — one renderer per shape of figure
+// in the paper (thread sweeps for Figures 7–9, size/ratio series for
+// Figure 10), plus CSV output for external plotting.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cell is one numeric value with an optional spread.
+type Cell struct {
+	Value float64
+	Std   float64
+}
+
+// Table is a generic column-per-series, row-per-x table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// XLabel names the first column (e.g. "threads" or "queue size").
+	XLabel string
+	// Series names the value columns in display order.
+	Series []string
+	// Unit is appended to the header of each value column.
+	Unit string
+	rows  map[string]map[string]Cell // xKey -> series -> cell
+	xs    []string                   // x keys in insertion order
+}
+
+// NewTable creates an empty table.
+func NewTable(title, xLabel, unit string, series []string) *Table {
+	return &Table{
+		Title:  title,
+		XLabel: xLabel,
+		Series: append([]string(nil), series...),
+		Unit:   unit,
+		rows:   make(map[string]map[string]Cell),
+	}
+}
+
+// Set records a cell. x is the row key (formatted by the caller, e.g.
+// "8" threads or "10^4").
+func (t *Table) Set(x, series string, c Cell) {
+	row, ok := t.rows[x]
+	if !ok {
+		row = make(map[string]Cell)
+		t.rows[x] = row
+		t.xs = append(t.xs, x)
+	}
+	row[series] = c
+}
+
+// Get returns the cell at (x, series).
+func (t *Table) Get(x, series string) (Cell, bool) {
+	row, ok := t.rows[x]
+	if !ok {
+		return Cell{}, false
+	}
+	c, ok := row[series]
+	return c, ok
+}
+
+// Rows returns the row keys in insertion order.
+func (t *Table) Rows() []string { return append([]string(nil), t.xs...) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	headers := make([]string, 0, len(t.Series)+1)
+	headers = append(headers, t.XLabel)
+	for _, s := range t.Series {
+		h := s
+		if t.Unit != "" {
+			h += " (" + t.Unit + ")"
+		}
+		headers = append(headers, h)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	body := make([][]string, 0, len(t.xs))
+	for _, x := range t.xs {
+		row := []string{x}
+		for _, s := range t.Series {
+			c, ok := t.rows[x][s]
+			cell := "-"
+			if ok {
+				if c.Std > 0 {
+					cell = fmt.Sprintf("%.4g ±%.2g", c.Value, c.Std)
+				} else {
+					cell = fmt.Sprintf("%.4g", c.Value)
+				}
+			}
+			row = append(row, cell)
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		body = append(body, row)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range body {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with an x column and
+// one column per series (values only, no spreads).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs {
+		b.WriteString(csvEscape(x))
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if c, ok := t.rows[x][s]; ok {
+				fmt.Fprintf(&b, "%g", c.Value)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Chart renders a crude ASCII line chart of the table: one glyph per
+// series, x rows down the page, values scaled to width columns. It is
+// meant for eyeballing the shape of a figure in a terminal, not for
+// publication.
+func (t *Table) Chart(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	for _, x := range t.xs {
+		for _, s := range t.Series {
+			if c, ok := t.rows[x][s]; ok && c.Value > maxV {
+				maxV = c.Value
+			}
+		}
+	}
+	if maxV == 0 {
+		return "(no data)\n"
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	var b strings.Builder
+	xw := len(t.XLabel)
+	for _, x := range t.xs {
+		if len(x) > xw {
+			xw = len(x)
+		}
+	}
+	fmt.Fprintf(&b, "%s  0 %s %.4g\n", strings.Repeat(" ", xw), strings.Repeat(".", width-2), maxV)
+	for _, x := range t.xs {
+		line := make([]byte, width+1)
+		for i := range line {
+			line[i] = ' '
+		}
+		for si, s := range t.Series {
+			c, ok := t.rows[x][s]
+			if !ok {
+				continue
+			}
+			pos := int(c.Value / maxV * float64(width))
+			if pos > width {
+				pos = width
+			}
+			g := glyphs[si%len(glyphs)]
+			if line[pos] != ' ' {
+				g = '=' // collision
+			}
+			line[pos] = g
+		}
+		fmt.Fprintf(&b, "%-*s |%s\n", xw, x, string(line))
+	}
+	legend := make([]string, 0, len(t.Series))
+	for si, s := range t.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Figure X", "threads", "sec", []string{"LF", "base WF"})
+	t.Set("1", "LF", Cell{Value: 1.5})
+	t.Set("1", "base WF", Cell{Value: 4.5, Std: 0.1})
+	t.Set("2", "LF", Cell{Value: 2.25})
+	t.Set("2", "base WF", Cell{Value: 9})
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"Figure X", "threads", "LF (sec)", "base WF (sec)", "1.5", "4.5 ±0.1", "2.25", "9"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestTableMissingCell(t *testing.T) {
+	tab := NewTable("", "x", "", []string{"a", "b"})
+	tab.Set("1", "a", Cell{Value: 3})
+	s := tab.String()
+	if !strings.Contains(s, "-") {
+		t.Fatalf("missing-cell marker absent:\n%s", s)
+	}
+}
+
+func TestRowsOrderStable(t *testing.T) {
+	tab := NewTable("", "x", "", []string{"a"})
+	for _, x := range []string{"4", "1", "16", "2"} {
+		tab.Set(x, "a", Cell{Value: 1})
+	}
+	rows := tab.Rows()
+	want := []string{"4", "1", "16", "2"}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows %v, want insertion order %v", rows, want)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	tab := sample()
+	c, ok := tab.Get("1", "LF")
+	if !ok || c.Value != 1.5 {
+		t.Fatalf("(%+v,%v)", c, ok)
+	}
+	if _, ok := tab.Get("9", "LF"); ok {
+		t.Fatal("phantom row")
+	}
+	if _, ok := tab.Get("1", "zzz"); ok {
+		t.Fatal("phantom series")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := sample().CSV()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "threads,LF,base WF" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1,1.5,4.5" || lines[2] != "2,2.25,9" {
+		t.Fatalf("rows %q / %q", lines[1], lines[2])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := NewTable("", `x,"quoted"`, "", []string{"a,b"})
+	tab.Set("r1", "a,b", Cell{Value: 1})
+	s := tab.CSV()
+	if !strings.Contains(s, `"x,""quoted"""`) || !strings.Contains(s, `"a,b"`) {
+		t.Fatalf("escaping:\n%s", s)
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := sample().Chart(40)
+	if !strings.Contains(s, "legend:") {
+		t.Fatalf("no legend:\n%s", s)
+	}
+	for _, g := range []string{"*", "o"} {
+		if !strings.Contains(s, g) {
+			t.Fatalf("missing glyph %q:\n%s", g, s)
+		}
+	}
+	// Empty table renders gracefully.
+	if got := NewTable("", "x", "", nil).Chart(40); !strings.Contains(got, "no data") {
+		t.Fatalf("empty chart: %q", got)
+	}
+}

@@ -1,0 +1,205 @@
+// Package spmc implements a single-enqueuer multiple-dequeuer FIFO queue
+// over a segmented "infinite array", the design point David's wait-free
+// queue (DISC 2004) occupies in the paper's related-work lineage between
+// Lamport's SPSC ring and the Kogan–Petrank MPMC queue.
+//
+// The structure follows David's idealized form: an unbounded array of
+// slots, a ticket counter handing each dequeuer a distinct index, and
+// slot-level conflict resolution between the enqueuer filling index i and
+// a dequeuer that overtook it. The unbounded array is realized as a
+// linked list of fixed-size segments that are allocated on demand and
+// unlinked once fully consumed (the GC reclaims them), so memory use is
+// proportional to the live contents plus in-flight dequeuers.
+//
+// Progress guarantees — stated precisely, since this is a simplification
+// of [8], not a reproduction of its full construction:
+//
+//   - Dequeue is wait-free, unconditionally: one fetch-and-add and at
+//     most one CAS, a constant number of steps.
+//   - Enqueue is wait-free under bounded empty-polling: its only loop
+//     skips slots poisoned by dequeuers that observed an empty queue, so
+//     it completes within k+1 steps where k is the number of concurrent
+//     dequeue calls that return empty during the enqueue. A workload
+//     that hammers Dequeue on an empty queue can therefore delay (though
+//     not block) the enqueuer; David's full construction removes this
+//     dependence at the price of the "increased time complexity" his
+//     paper mentions for the bounded-space variant.
+//
+// Linearization points: a successful dequeue linearizes at the ticket
+// fetch-and-add once the slot read confirms a value; an empty dequeue at
+// its successful poison CAS; an enqueue at the slot CAS that publishes
+// the value.
+package spmc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Slot states. A slot moves empty → full (enqueuer) and full → taken
+// (the dequeuer owning its ticket), or empty → poisoned (a dequeuer that
+// overtook the enqueuer). All transitions happen at most once, which is
+// what makes the reasoning (and the tests) tractable.
+const (
+	slotEmpty int32 = iota
+	slotFull
+	slotTaken
+	slotPoisoned
+)
+
+// segSize is the number of slots per segment. 1024 slots of ~24 bytes
+// keeps segments comfortably under typical size-class boundaries while
+// amortizing allocation to once per 1024 operations.
+const segSize = 1024
+
+type slot[T any] struct {
+	state atomic.Int32
+	value T
+}
+
+type segment[T any] struct {
+	base int64 // index of slot 0 in this segment
+	next atomic.Pointer[segment[T]]
+	s    [segSize]slot[T]
+}
+
+// Queue is the SPMC queue. Exactly one goroutine may call Enqueue;
+// any number may call Dequeue concurrently.
+type Queue[T any] struct {
+	// ticket hands each dequeue a distinct slot index.
+	ticket atomic.Int64
+	_      [56]byte
+	// tail is the enqueuer's cursor; single-writer.
+	tail int64
+	_    [56]byte
+	// headSeg is the oldest segment dequeuers may still need; advanced
+	// lazily by dequeuers. enqSeg is the enqueuer's current segment.
+	headSeg atomic.Pointer[segment[T]]
+	enqSeg  *segment[T]
+}
+
+// New returns an empty SPMC queue.
+func New[T any]() *Queue[T] {
+	first := &segment[T]{base: 0}
+	q := &Queue[T]{enqSeg: first}
+	q.headSeg.Store(first)
+	return q
+}
+
+// Name identifies the algorithm in benchmark reports.
+func (q *Queue[T]) Name() string { return "SPMC (David-style)" }
+
+// findSeg walks from start to the segment containing index i, extending
+// the segment list as needed. Only the enqueuer and ticket-holding
+// dequeuers call it; extension uses CAS so concurrent walkers agree on
+// one segment per range.
+func findSeg[T any](start *segment[T], i int64) *segment[T] {
+	seg := start
+	for i >= seg.base+segSize {
+		next := seg.next.Load()
+		if next == nil {
+			candidate := &segment[T]{base: seg.base + segSize}
+			if seg.next.CompareAndSwap(nil, candidate) {
+				next = candidate
+			} else {
+				next = seg.next.Load()
+			}
+		}
+		seg = next
+	}
+	if i < seg.base {
+		panic(fmt.Sprintf("spmc: index %d before segment base %d", i, seg.base))
+	}
+	return seg
+}
+
+// Enqueue appends v. Only the owning (single) enqueuer may call it.
+func (q *Queue[T]) Enqueue(v T) {
+	for {
+		seg := findSeg(q.enqSeg, q.tail)
+		q.enqSeg = seg
+		sl := &seg.s[q.tail-seg.base]
+		// Write the value before publishing the state; dequeuers
+		// read value only after observing slotFull.
+		sl.value = v
+		if sl.state.CompareAndSwap(slotEmpty, slotFull) {
+			q.tail++
+			return
+		}
+		// A dequeuer poisoned this slot after overtaking us; skip
+		// it. Each skip is paid for by one empty-returning dequeue.
+		q.tail++
+	}
+}
+
+// Dequeue removes the oldest element; ok=false when the queue was empty.
+// Safe for any number of concurrent callers.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	t := q.ticket.Add(1) - 1 // claim slot index t; each index claimed once
+	seg := findSeg(q.headSeg.Load(), t)
+	sl := &seg.s[t-seg.base]
+	// Fast path: the enqueuer already filled our slot.
+	if sl.state.Load() == slotFull {
+		v = sl.value
+		sl.state.Store(slotTaken)
+		q.advanceHead(seg)
+		return v, true
+	}
+	// Slow path: the slot is empty (we overtook the enqueuer) or the
+	// enqueuer is mid-publication. Try to poison; if the poison CAS
+	// fails the enqueuer won the race and the value is ours.
+	if sl.state.CompareAndSwap(slotEmpty, slotPoisoned) {
+		return v, false // linearized empty
+	}
+	v = sl.value
+	sl.state.Store(slotTaken)
+	q.advanceHead(seg)
+	return v, true
+}
+
+// advanceHead retires fully-consumed segments so the GC can reclaim
+// them. Racy-but-monotone: head only moves to a segment whose base is
+// higher, and tickets lower than the minimum outstanding are never
+// touched again.
+func (q *Queue[T]) advanceHead(cur *segment[T]) {
+	head := q.headSeg.Load()
+	// The minimum index any future or in-flight dequeue can touch is
+	// bounded below by (ticket - in-flight); a conservative and cheap
+	// criterion is: every slot of head is taken or poisoned.
+	for head.base+segSize <= cur.base {
+		done := true
+		for i := range head.s {
+			st := head.s[i].state.Load()
+			if st != slotTaken && st != slotPoisoned {
+				done = false
+				break
+			}
+		}
+		if !done {
+			return
+		}
+		next := head.next.Load()
+		if next == nil {
+			return
+		}
+		if q.headSeg.CompareAndSwap(head, next) {
+			head = next
+		} else {
+			head = q.headSeg.Load()
+		}
+	}
+}
+
+// Len reports a racy snapshot of (filled − consumed): the number of
+// published values not yet taken. For tests and monitoring.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for seg := q.headSeg.Load(); seg != nil; seg = seg.next.Load() {
+		for i := range seg.s {
+			if seg.s[i].state.Load() == slotFull {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+package spmc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int64]()
+	if q.Name() == "" {
+		t.Fatal("empty name")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("(%d,%v) want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on drained succeeded")
+	}
+}
+
+// TestPoisonedSlotsSkipped: empty dequeues poison slots; subsequent
+// enqueues must skip them without losing values.
+func TestPoisonedSlotsSkipped(t *testing.T) {
+	q := New[int64]()
+	for i := 0; i < 10; i++ {
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("phantom value")
+		}
+	}
+	// The first 10 slots are now poisoned.
+	q.Enqueue(1)
+	q.Enqueue(2)
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+}
+
+func TestSegmentBoundaryCrossing(t *testing.T) {
+	q := New[int64]()
+	n := int64(3*segSize + 17)
+	for i := int64(0); i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := int64(0); i < n; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("at %d: (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestSegmentsRetired(t *testing.T) {
+	q := New[int64]()
+	const n = 5 * segSize
+	for i := int64(0); i < n; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+	// Head segment should have advanced well past the first one.
+	if base := q.headSeg.Load().base; base < 3*segSize {
+		t.Fatalf("head segment base %d: retirement not happening", base)
+	}
+}
+
+func TestQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	if err := quick.Check(func(ops []op) bool {
+		q := New[int64]()
+		var ref []int64
+		for _, o := range ops {
+			if o.Enq {
+				q.Enqueue(o.V)
+				ref = append(ref, o.V)
+			} else {
+				v, ok := q.Dequeue()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+		}
+		return q.Len() == len(ref)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOneProducerManyConsumers: the queue's defining configuration.
+// Every value arrives exactly once and each consumer's observed sequence
+// is increasing (single producer ⇒ global dequeue order is production
+// order).
+func TestOneProducerManyConsumers(t *testing.T) {
+	const consumers = 6
+	n := int64(200000)
+	if testing.Short() {
+		n = 20000
+	}
+	q := New[int64]()
+	var consumed atomic.Int64
+	var dups atomic.Int64
+	seen := make([]atomic.Bool, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the single producer
+		defer wg.Done()
+		for i := int64(0); i < n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			last := int64(-1)
+			for consumed.Load() < n {
+				v, ok := q.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if v <= last {
+					t.Errorf("consumer %d: %d after %d", c, v, last)
+					consumed.Store(n)
+					return
+				}
+				last = v
+				if seen[v].Swap(true) {
+					dups.Add(1)
+				}
+				consumed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if dups.Load() != 0 {
+		t.Fatalf("%d duplicates", dups.Load())
+	}
+	for i := int64(0); i < n; i++ {
+		if !seen[i].Load() {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+}
+
+// TestEnqueueProgressUnderEmptyPolling documents the stated progress
+// bound: with e empty-returning dequeues during an enqueue, the enqueue
+// performs at most e+1 slot attempts. We approximate by counting ticket
+// consumption: after heavy empty-polling stops, one enqueue must land
+// within (tickets issued since last fill)+1 slots.
+func TestEnqueueProgressUnderEmptyPolling(t *testing.T) {
+	q := New[int64]()
+	const polls = 5000
+	for i := 0; i < polls; i++ {
+		q.Dequeue() // all empty: poisons slots 0..polls-1
+	}
+	before := q.tail
+	q.Enqueue(42)
+	attempts := q.tail - before
+	if attempts > polls+1 {
+		t.Fatalf("enqueue took %d attempts for %d empty polls", attempts, polls)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 42 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+}
+
+func BenchmarkSPMCPairs(b *testing.B) {
+	q := New[int64]()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(int64(i))
+		q.Dequeue()
+	}
+}

@@ -1,0 +1,91 @@
+// Package spsc implements Lamport's wait-free single-producer
+// single-consumer queue ("Specifying concurrent program modules", TOPLAS
+// 1983) over a statically allocated ring buffer.
+//
+// The paper's related-work section opens with this algorithm as the first
+// wait-free queue, noting its two limitations: one concurrent enqueuer and
+// one concurrent dequeuer only, and a capacity fixed at allocation. It is
+// included here as the historical baseline that motivates the paper's
+// contribution, and because it remains the right tool when the
+// single-producer single-consumer restriction actually holds — every
+// operation is a handful of loads and stores with no CAS at all.
+//
+// Correctness rests on the classic argument: head is written only by the
+// consumer, tail only by the producer, and each side only needs a
+// conservative (possibly stale) view of the other's index. Go's atomics
+// provide the release/acquire ordering the original assumed of its
+// registers.
+package spsc
+
+import "sync/atomic"
+
+// Queue is a bounded wait-free SPSC FIFO. Exactly one goroutine may call
+// Enqueue and exactly one (possibly different) goroutine may call Dequeue.
+type Queue[T any] struct {
+	buf []T
+	cap uint64
+
+	// head: next slot to read; written by the consumer only.
+	head atomic.Uint64
+	_    [56]byte
+	// tail: next slot to write; written by the producer only.
+	tail atomic.Uint64
+	_    [56]byte
+
+	// cachedHead/cachedTail let each side avoid touching the other's
+	// cache line until the conservative view says the buffer might be
+	// full/empty (the standard modern refinement of Lamport's queue).
+	cachedHead uint64 // producer's stale copy of head
+	_          [56]byte
+	cachedTail uint64 // consumer's stale copy of tail
+}
+
+// New returns a queue with the given capacity (number of elements it can
+// hold). Capacity must be positive.
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("spsc: capacity must be positive")
+	}
+	return &Queue[T]{buf: make([]T, capacity), cap: uint64(capacity)}
+}
+
+// Name identifies the algorithm in benchmark reports.
+func (q *Queue[T]) Name() string { return "Lamport SPSC" }
+
+// Cap reports the fixed capacity.
+func (q *Queue[T]) Cap() int { return int(q.cap) }
+
+// Enqueue inserts v; ok is false when the buffer is full. Producer-side
+// only.
+func (q *Queue[T]) Enqueue(v T) (ok bool) {
+	t := q.tail.Load()
+	if t-q.cachedHead == q.cap {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead == q.cap {
+			return false // full
+		}
+	}
+	q.buf[t%q.cap] = v
+	q.tail.Store(t + 1) // release: publishes the slot write
+	return true
+}
+
+// Dequeue removes the oldest element; ok is false when the buffer is
+// empty. Consumer-side only.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	h := q.head.Load()
+	if h == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h == q.cachedTail {
+			return v, false // empty
+		}
+	}
+	v = q.buf[h%q.cap]
+	q.head.Store(h + 1) // release: frees the slot for the producer
+	return v, true
+}
+
+// Len reports the number of buffered elements (racy when both sides run).
+func (q *Queue[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}

@@ -1,0 +1,183 @@
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", c)
+				}
+			}()
+			New[int](c)
+		}()
+	}
+	q := New[int](3)
+	if q.Cap() != 3 || q.Name() != "Lamport SPSC" {
+		t.Fatalf("cap=%d name=%q", q.Cap(), q.Name())
+	}
+}
+
+func TestFullAndEmpty(t *testing.T) {
+	q := New[int](2)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	if !q.Enqueue(1) || !q.Enqueue(2) {
+		t.Fatal("enqueue failed below capacity")
+	}
+	if q.Enqueue(3) {
+		t.Fatal("enqueue succeeded on full queue")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len %d", q.Len())
+	}
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	if !q.Enqueue(3) {
+		t.Fatal("enqueue failed after a slot freed")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 3 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on drained queue succeeded")
+	}
+}
+
+func TestWrapAroundSequential(t *testing.T) {
+	q := New[int64](3)
+	next, expect := int64(0), int64(0)
+	for r := 0; r < 100; r++ {
+		for q.Enqueue(next) {
+			next++
+		}
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			if v != expect {
+				t.Fatalf("got %d, want %d", v, expect)
+			}
+			expect++
+		}
+	}
+	if expect != next {
+		t.Fatalf("consumed %d of %d", expect, next)
+	}
+}
+
+// TestProducerConsumer is the algorithm's contract: with exactly one
+// producer and one consumer, every value arrives exactly once, in order,
+// with no locks.
+func TestProducerConsumer(t *testing.T) {
+	const n = 200000
+	q := New[int64](128)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := int64(0); i < n; {
+			if q.Enqueue(i) {
+				i++
+			} else {
+				runtime.Gosched() // full: let the consumer run (single-core hosts)
+			}
+		}
+	}()
+	var fail string
+	go func() { // consumer
+		defer wg.Done()
+		expect := int64(0)
+		for expect < n {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched() // empty: let the producer run
+				continue
+			}
+			if v != expect {
+				fail = "out of order"
+				return
+			}
+			expect++
+		}
+	}()
+	wg.Wait()
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("residual %d", q.Len())
+	}
+}
+
+func TestQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		V   int64
+	}
+	if err := quick.Check(func(capRaw uint8, ops []op) bool {
+		capacity := int(capRaw%16) + 1
+		q := New[int64](capacity)
+		var ref []int64
+		for _, o := range ops {
+			if o.Enq {
+				ok := q.Enqueue(o.V)
+				if ok != (len(ref) < capacity) {
+					return false
+				}
+				if ok {
+					ref = append(ref, o.V)
+				}
+			} else {
+				v, ok := q.Dequeue()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+		}
+		return q.Len() == len(ref)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSPSCPingPong(b *testing.B) {
+	q := New[int64](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c := 0; c < b.N; {
+			if _, ok := q.Dequeue(); ok {
+				c++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < b.N; {
+		if q.Enqueue(int64(i)) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}

@@ -1,0 +1,95 @@
+// Package stats implements the small set of summary statistics the
+// benchmark harness reports: mean, standard deviation, min/max, and
+// percentile estimates over repeated experiment runs.
+//
+// The paper reports each data point as "the average of ten experiments run
+// with the same set of parameters" with negligible standard deviation;
+// Summary carries both so EXPERIMENTS.md can show the spread we observed.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 50)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+
+	if s.N > 1 {
+		var ss float64
+		for _, x := range sorted {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted (ascending)
+// data using linear interpolation between closest ranks. It panics on an
+// empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeDurations converts durations to seconds and summarizes them.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// Ratio returns a/b, or NaN when b == 0; used for the WF/LF ratio series
+// of Figures 7 and 10.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.Median != 3.5 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+	if s.Std != 0 {
+		t.Fatalf("single-sample std must be 0, got %v", s.Std)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 2,4,4,4,5,5,7,9: classic example with stddev (population) 2;
+	// sample stddev = sqrt(32/7).
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean: got %v, want 5", s.Mean)
+	}
+	if want := math.Sqrt(32.0 / 7.0); !approx(s.Std, want, 1e-12) {
+		t.Fatalf("std: got %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max: got %v/%v", s.Min, s.Max)
+	}
+	if !approx(s.Median, 4.5, 1e-12) {
+		t.Fatalf("median: got %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0: got %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 5 {
+		t.Fatalf("p100: got %v", got)
+	}
+	if got := Percentile(sorted, 50); got != 3 {
+		t.Fatalf("p50: got %v", got)
+	}
+	if got := Percentile(sorted, 25); got != 2 {
+		t.Fatalf("p25: got %v", got)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 75); !approx(got, 7.5, 1e-12) {
+		t.Fatalf("p75 of {0,10}: got %v, want 7.5", got)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeanWithinMinMaxProperty(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		// Filter out NaN/Inf which have no meaningful ordering.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if !approx(s.Mean, 2, 1e-12) || s.N != 2 {
+		t.Fatalf("bad duration summary: %+v", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); !approx(got, 1.5, 1e-12) {
+		t.Fatalf("Ratio(3,2) = %v", got)
+	}
+	if got := Ratio(1, 0); !math.IsNaN(got) {
+		t.Fatalf("Ratio(1,0) = %v, want NaN", got)
+	}
+}

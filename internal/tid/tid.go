@@ -1,0 +1,71 @@
+// Package tid maps dynamically created goroutines onto the small dense
+// thread-id space the wait-free queue requires.
+//
+// The paper assumes threads have unique IDs in [0, NUM_THRDS) and notes in
+// §3.3 that "to support applications in which threads are created and
+// deleted dynamically and may have arbitrary IDs, threads can get and
+// release (virtual) IDs from a small name space through one of the known
+// long-lived wait-free renaming algorithms". This package is that glue:
+// a Registry wraps a renaming.Namespace and hands out Handles; a goroutine
+// acquires a Handle before operating on the queue and releases it when
+// done (or keeps it for its lifetime). The same ID may be reused by
+// different goroutines over time, which the queue permits as long as IDs
+// of concurrently active threads never collide — exactly the guarantee
+// the namespace provides.
+package tid
+
+import (
+	"errors"
+
+	"wfq/internal/renaming"
+)
+
+// ErrExhausted reports that all virtual IDs were held by concurrently
+// active goroutines.
+var ErrExhausted = errors.New("tid: name space exhausted; raise the queue's thread bound")
+
+// Registry hands out virtual thread IDs in [0, Capacity()).
+type Registry struct {
+	ns *renaming.Namespace
+}
+
+// NewRegistry creates a registry with n virtual IDs — use the same n as
+// the queue's thread bound.
+func NewRegistry(n int) *Registry {
+	return &Registry{ns: renaming.New(n)}
+}
+
+// Capacity reports the size of the ID space.
+func (r *Registry) Capacity() int { return r.ns.Capacity() }
+
+// InUse reports how many IDs are currently held (racy snapshot).
+func (r *Registry) InUse() int { return r.ns.InUse() }
+
+// Acquire claims a Handle for the calling goroutine. The goroutine owns
+// the Handle until Release; sharing a live Handle between goroutines that
+// may operate on the queue concurrently is a caller bug.
+func (r *Registry) Acquire() (Handle, error) {
+	id, ok := r.ns.Acquire()
+	if !ok {
+		return Handle{}, ErrExhausted
+	}
+	return Handle{id: id, reg: r}, nil
+}
+
+// Handle is a claimed virtual thread ID.
+type Handle struct {
+	id  int
+	reg *Registry
+}
+
+// TID returns the dense thread id to pass to queue operations.
+func (h Handle) TID() int { return h.id }
+
+// Release returns the ID to the registry. The Handle must not be used
+// afterwards. Releasing a zero or already-released Handle panics.
+func (h Handle) Release() {
+	if h.reg == nil {
+		panic("tid: Release of zero Handle")
+	}
+	h.reg.ns.Release(h.id)
+}

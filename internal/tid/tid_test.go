@@ -1,0 +1,89 @@
+package tid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	r := NewRegistry(4)
+	if r.Capacity() != 4 {
+		t.Fatalf("capacity %d", r.Capacity())
+	}
+	h, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := h.TID(); id < 0 || id >= 4 {
+		t.Fatalf("tid %d out of range", id)
+	}
+	if r.InUse() != 1 {
+		t.Fatalf("InUse %d", r.InUse())
+	}
+	h.Release()
+	if r.InUse() != 0 {
+		t.Fatalf("InUse %d after release", r.InUse())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	r := NewRegistry(2)
+	a, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Acquire(); err != ErrExhausted {
+		t.Fatalf("expected ErrExhausted, got %v", err)
+	}
+	a.Release()
+	b.Release()
+}
+
+func TestZeroHandleReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero Handle release")
+		}
+	}()
+	var h Handle
+	h.Release()
+}
+
+func TestConcurrentDistinctTIDs(t *testing.T) {
+	const n = 8
+	r := NewRegistry(n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	live := make(map[int]bool)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h, err := r.Acquire()
+				if err != nil {
+					t.Errorf("acquire failed with bounded concurrency: %v", err)
+					return
+				}
+				mu.Lock()
+				if live[h.TID()] {
+					mu.Unlock()
+					t.Errorf("tid %d aliased", h.TID())
+					return
+				}
+				live[h.TID()] = true
+				mu.Unlock()
+
+				mu.Lock()
+				delete(live, h.TID())
+				mu.Unlock()
+				h.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,262 @@
+package universal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"wfq/internal/lincheck"
+	"wfq/internal/model"
+	"wfq/internal/xrand"
+)
+
+func TestValidation(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+	q := New(2)
+	if q.NumThreads() != 2 || q.Name() == "" {
+		t.Fatalf("metadata: %d %q", q.NumThreads(), q.Name())
+	}
+	for _, bad := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("tid %d did not panic", bad)
+				}
+			}()
+			q.Enqueue(bad, 1)
+		}()
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(3)
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := int64(0); i < 200; i++ {
+		q.Enqueue(int(i)%3, i)
+	}
+	if q.Len() != 200 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := int64(0); i < 200; i++ {
+		if v, ok := q.Dequeue(int(i)%3); !ok || v != i {
+			t.Fatalf("(%d,%v) want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(2); ok {
+		t.Fatal("dequeue on drained succeeded")
+	}
+}
+
+func TestQuickVsModel(t *testing.T) {
+	type op struct {
+		Enq bool
+		Tid uint8
+		V   int64
+	}
+	if err := quick.Check(func(ops []op) bool {
+		const n = 3
+		q := New(n)
+		var ref model.Queue
+		for _, o := range ops {
+			tid := int(o.Tid) % n
+			if o.Enq {
+				q.Enqueue(tid, o.V)
+				ref.Enqueue(o.V)
+			} else {
+				v, ok := q.Dequeue(tid)
+				rv, rok := ref.Dequeue()
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const nthreads = 6
+	perThread := 3000
+	if testing.Short() {
+		perThread = 300
+	}
+	q := New(nthreads)
+	var next atomic.Int64
+	var consumed sync.Map
+	var dups, deqOK atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(tid) + 5)
+			for i := 0; i < perThread; i++ {
+				if rng.Bool() {
+					q.Enqueue(tid, next.Add(1))
+				} else if v, ok := q.Dequeue(tid); ok {
+					if _, dup := consumed.LoadOrStore(v, tid); dup {
+						dups.Add(1)
+					}
+					deqOK.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		if _, dup := consumed.LoadOrStore(v, -1); dup {
+			dups.Add(1)
+		}
+		deqOK.Add(1)
+	}
+	if dups.Load() != 0 || deqOK.Load() != next.Load() {
+		t.Fatalf("dups=%d consumed=%d issued=%d", dups.Load(), deqOK.Load(), next.Load())
+	}
+}
+
+// TestSingleProducerOrder: with one producer, consumers see increasing
+// values (global FIFO order).
+func TestSingleProducerOrder(t *testing.T) {
+	const consumers = 3
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	q := New(1 + consumers)
+	var wg sync.WaitGroup
+	var got atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Enqueue(0, int64(i))
+		}
+	}()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			last := int64(-1)
+			for got.Load() < int64(n) {
+				v, ok := q.Dequeue(1 + c)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if v <= last {
+					t.Errorf("consumer %d: %d after %d", c, v, last)
+					got.Store(int64(n))
+					return
+				}
+				last = v
+				got.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestLinearizableHistories records genuinely concurrent runs and checks
+// them — the universal construction must be linearizable by
+// construction; this closes the loop on our implementation of it.
+func TestLinearizableHistories(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		const workers = 4
+		const ops = 30
+		q := New(workers)
+		rec := lincheck.NewRecorder(workers, ops)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*100 + tid))
+				for i := 0; i < ops; i++ {
+					if rng.Bool() {
+						v := int64(tid)<<32 | int64(i)
+						tok := rec.BeginEnq(tid, v)
+						q.Enqueue(tid, v)
+						rec.EndEnq(tok)
+					} else {
+						tok := rec.BeginDeq(tid)
+						v, ok := q.Dequeue(tid)
+						rec.EndDeq(tok, v, ok)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var c lincheck.Checker
+		res, err := c.Check(rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == lincheck.NotLinearizable {
+			t.Fatalf("round %d: not linearizable", round)
+		}
+	}
+}
+
+// TestHelpedCompletion: the construction's wait-freedom mechanism — an
+// operation announced by a thread that then performs no further steps is
+// threaded by the round-robin priority of other threads' operations.
+// We can't park a thread mid-operation (no yield points here), but we
+// can verify the priority path executes: after thread 0 announces via a
+// goroutine that is descheduled, thread 1's operations thread it.
+func TestRoundRobinPriorityThreadsPeers(t *testing.T) {
+	q := New(2)
+	// Fill the log so seq values cycle across helpTid = 0 and 1.
+	for i := 0; i < 10; i++ {
+		q.Enqueue(1, int64(i))
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(0, 999) // may be threaded by thread 1's helping
+		close(done)
+	}()
+	for i := 0; i < 10; i++ {
+		q.Enqueue(1, int64(100+i))
+	}
+	<-done
+	// 999 must be present exactly once.
+	count := 0
+	for {
+		v, ok := q.Dequeue(1)
+		if !ok {
+			break
+		}
+		if v == 999 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("announced op applied %d times", count)
+	}
+}
+
+func BenchmarkUniversalPairs(b *testing.B) {
+	q := New(1)
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(0, int64(i))
+		q.Dequeue(0)
+	}
+}

@@ -1,0 +1,94 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for benchmark workloads.
+//
+// The benchmark harness needs one independent random stream per worker
+// thread so that the 50%-enqueues workload of the paper ("each thread
+// decides uniformly at random and independently of other threads") does not
+// serialize workers on a shared generator. The generators here are
+// allocation-free value types based on splitmix64 and xoshiro256**, both
+// with well-studied statistical behaviour and a one-word or four-word state
+// that lives in the worker's stack frame.
+package xrand
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is a
+// strong 64-bit mixer with a single word of state; it is also used to seed
+// Xoshiro256 streams. The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** generator of Blackman and Vigna: four
+// words of state, period 2^256-1, sub-nanosecond generation. Use New to
+// obtain a properly seeded instance; an all-zero state is invalid and is
+// corrected by New.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 generator deterministically derived from seed
+// via splitmix64, as recommended by the xoshiro authors.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var g Xoshiro256
+	for i := range g.s {
+		g.s[i] = sm.Next()
+	}
+	if g.s == [4]uint64{} {
+		g.s[0] = 1 // escape the invalid all-zero state
+	}
+	return &g
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next 64-bit value in the stream.
+func (g *Xoshiro256) Next() uint64 {
+	result := rotl(g.s[1]*5, 7) * 9
+	t := g.s[1] << 17
+	g.s[2] ^= g.s[0]
+	g.s[3] ^= g.s[1]
+	g.s[1] ^= g.s[2]
+	g.s[0] ^= g.s[3]
+	g.s[2] ^= t
+	g.s[3] = rotl(g.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (g *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift range reduction; the slight modulo bias of
+	// the plain form is irrelevant for workload coin flips but the
+	// multiply-shift form is bias-free enough and branch-light.
+	return int((g.Next() >> 33) % uint64(n))
+}
+
+// Bool returns an unbiased random boolean, the "equal odds for enqueue and
+// dequeue" coin of the paper's 50%-enqueues benchmark.
+func (g *Xoshiro256) Bool() bool {
+	return g.Next()&1 == 1
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (g *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	return g.Next() % n
+}

@@ -1,0 +1,143 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference values for seed 0, from the public-domain C reference
+	// implementation of splitmix64.
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	g := NewSplitMix64(0)
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("value %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64SeedsDiffer(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroZeroSeedValid(t *testing.T) {
+	g := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[g.Next()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("seed-0 generator looks degenerate: only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	g := New(123)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := g.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	g := New(1)
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			g.Intn(n)
+		}()
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	g := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	g.Uint64n(0)
+}
+
+func TestBoolRoughlyBalanced(t *testing.T) {
+	g := New(99)
+	const n = 100000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if g.Bool() {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Bool() is biased: %.4f true fraction", frac)
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	g := New(2024)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[g.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d has %d draws, want ~%.0f (±5%%)", b, c, want)
+		}
+	}
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	g := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Next()
+	}
+	_ = sink
+}

@@ -1,0 +1,129 @@
+// Package yield provides named interleaving points inside the concurrent
+// algorithms so tests can force the specific thread suspensions the paper
+// reasons about (for example: "a helper executes the descriptor CAS of
+// Line 93 and gets suspended before the tail CAS of Line 94").
+//
+// In production the hook is nil and each point costs one atomic load and a
+// predictable branch — negligible next to the CAS traffic of the
+// algorithms themselves, and it keeps the instrumented and benchmarked
+// code identical, so what we test is what we measure.
+//
+// Tests install a Hook with Set and drive victims deterministically:
+//
+//	yield.Set(func(p yield.Point, caller, owner int) {
+//	    if p == yield.KPAfterStateCASEnq && caller == victim {
+//	        <-resume // park the victim at the paper's Line 93/94 gap
+//	    }
+//	})
+//	defer yield.Set(nil)
+package yield
+
+import "sync/atomic"
+
+// Point identifies one instrumented location in the algorithms. The names
+// reference the source lines of the paper's Figures 4 and 6 so tests read
+// like the correctness argument in §3.2.
+type Point int
+
+// Instrumented locations.
+const (
+	// KPBeforeAppend fires just before the enqueue-linearizing CAS that
+	// appends a node to the list (paper Line 74).
+	KPBeforeAppend Point = iota
+	// KPAfterAppend fires just after a successful append CAS (Line 74),
+	// before help_finish_enq runs.
+	KPAfterAppend
+	// KPAfterStateCASEnq fires between the descriptor-completion CAS
+	// (Line 93) and the tail-fixing CAS (Line 94) in help_finish_enq —
+	// the suspension window the paper's §3.2 argument is about.
+	KPAfterStateCASEnq
+	// KPBeforeTailCAS fires immediately before the tail CAS (Line 94).
+	KPBeforeTailCAS
+	// KPBeforeEmptyCAS fires just before the CAS that completes a
+	// dequeue with the empty result (Line 120) — the race window the
+	// paper's Stage 1 exists to close.
+	KPBeforeEmptyCAS
+	// KPBeforeDeqTidCAS fires just before the dequeue-linearizing CAS
+	// that claims the sentinel's deqTid (Line 135).
+	KPBeforeDeqTidCAS
+	// KPAfterDeqTidCAS fires just after a successful deqTid CAS.
+	KPAfterDeqTidCAS
+	// KPAfterStateCASDeq fires between the descriptor-completion CAS
+	// (Line 149) and the head-fixing CAS (Line 150) in help_finish_deq.
+	KPAfterStateCASDeq
+	// KPBeforeHeadCAS fires immediately before the head CAS (Line 150).
+	KPBeforeHeadCAS
+	// KPHelpScan fires once per help() descriptor inspection (Line 38).
+	KPHelpScan
+	// KPEnqRetry fires at the top of every help_enq loop iteration
+	// (Line 68), and KPDeqRetry at the top of every help_deq iteration
+	// (Line 110). They make retry loops visible to the deterministic
+	// scheduler (internal/explore), which needs every bounded stretch
+	// of execution to end at an instrumented point.
+	KPEnqRetry
+	KPDeqRetry
+	// MSBeforeAppend / MSBeforeHeadCAS are the analogous windows in the
+	// Michael–Scott baseline, used by its own race tests.
+	MSBeforeAppend
+	MSBeforeHeadCAS
+	numPoints int = iota
+)
+
+var pointNames = [numPoints]string{
+	"KPBeforeAppend", "KPAfterAppend", "KPAfterStateCASEnq",
+	"KPBeforeTailCAS", "KPBeforeEmptyCAS", "KPBeforeDeqTidCAS", "KPAfterDeqTidCAS",
+	"KPAfterStateCASDeq", "KPBeforeHeadCAS", "KPHelpScan",
+	"KPEnqRetry", "KPDeqRetry",
+	"MSBeforeAppend", "MSBeforeHeadCAS",
+}
+
+// String returns the symbolic name of the point.
+func (p Point) String() string {
+	if int(p) < 0 || int(p) >= numPoints {
+		return "Point(?)"
+	}
+	return pointNames[p]
+}
+
+// Hook observes an instrumented point. caller is the queue thread-id of
+// the thread executing the code (useful for parking a specific thread to
+// simulate preemption); owner is the thread-id of the operation being
+// executed or helped at that point (useful for counting per-operation
+// steps). Either may be -1 when the algorithm has no such identity (the
+// Michael–Scott baseline's points). A hook may block to simulate
+// suspension; it must not call back into the queue under test from the
+// same goroutine.
+type Hook func(p Point, caller, owner int)
+
+// holder wraps the func so it can live in an atomic.Pointer.
+type holder struct{ fn Hook }
+
+var active atomic.Pointer[holder]
+
+// Set installs h as the global hook; Set(nil) removes it. It returns the
+// previously installed hook (nil if none) so tests can nest and restore.
+func Set(h Hook) Hook {
+	var prev *holder
+	if h == nil {
+		prev = active.Swap(nil)
+	} else {
+		prev = active.Swap(&holder{fn: h})
+	}
+	if prev == nil {
+		return nil
+	}
+	return prev.fn
+}
+
+// At reports point p reached by thread caller while executing owner's
+// operation. This is the call the algorithms make; the fast path (no hook)
+// is a single atomic load.
+func At(p Point, caller, owner int) {
+	if h := active.Load(); h != nil {
+		h.fn(p, caller, owner)
+	}
+}
+
+// Enabled reports whether any hook is installed. Algorithms may use it to
+// skip preparing arguments for At in hot loops.
+func Enabled() bool { return active.Load() != nil }

@@ -1,0 +1,106 @@
+package yield
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNoHookIsNoop(t *testing.T) {
+	Set(nil)
+	if Enabled() {
+		t.Fatal("Enabled with no hook")
+	}
+	At(KPBeforeAppend, 0, 0) // must not panic
+}
+
+func TestHookReceivesPointAndTid(t *testing.T) {
+	type ev struct {
+		p             Point
+		caller, owner int
+	}
+	var got []ev
+	prev := Set(func(p Point, caller, owner int) { got = append(got, ev{p, caller, owner}) })
+	defer Set(prev)
+	if !Enabled() {
+		t.Fatal("Enabled false with hook installed")
+	}
+	At(KPBeforeTailCAS, 3, 4)
+	At(KPHelpScan, 7, 8)
+	if len(got) != 2 || got[0] != (ev{KPBeforeTailCAS, 3, 4}) || got[1] != (ev{KPHelpScan, 7, 8}) {
+		t.Fatalf("hook observed %v", got)
+	}
+}
+
+func TestSetReturnsPrevious(t *testing.T) {
+	defer Set(nil)
+	calls := 0
+	first := func(Point, int, int) { calls++ }
+	if prev := Set(first); prev != nil {
+		t.Fatal("expected nil previous hook")
+	}
+	second := func(Point, int, int) {}
+	prev := Set(second)
+	if prev == nil {
+		t.Fatal("previous hook lost")
+	}
+	prev(KPHelpScan, 0, 0)
+	if calls != 1 {
+		t.Fatal("returned hook is not the one installed first")
+	}
+	if Set(nil) == nil {
+		t.Fatal("expected non-nil previous on removal")
+	}
+}
+
+func TestConcurrentSetAndAt(t *testing.T) {
+	// Races between Set and At must be memory-safe (atomic swap).
+	defer Set(nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Set(func(Point, int, int) {})
+				Set(nil)
+			}
+		}
+	}()
+	for i := 0; i < 100000; i++ {
+		At(KPBeforeAppend, i, i)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPointString(t *testing.T) {
+	if KPBeforeAppend.String() != "KPBeforeAppend" {
+		t.Fatalf("got %q", KPBeforeAppend.String())
+	}
+	if MSBeforeHeadCAS.String() != "MSBeforeHeadCAS" {
+		t.Fatalf("got %q", MSBeforeHeadCAS.String())
+	}
+	if Point(999).String() != "Point(?)" {
+		t.Fatalf("out-of-range: %q", Point(999).String())
+	}
+	// Every defined point must have a distinct non-empty name.
+	seen := map[string]bool{}
+	for p := Point(0); int(p) < numPoints; p++ {
+		s := p.String()
+		if s == "" || seen[s] {
+			t.Fatalf("point %d has bad name %q", p, s)
+		}
+		seen[s] = true
+	}
+}
+
+func BenchmarkAtDisabled(b *testing.B) {
+	Set(nil)
+	for i := 0; i < b.N; i++ {
+		At(KPHelpScan, 0, 0)
+	}
+}

@@ -1,0 +1,197 @@
+// Package wfq is a wait-free multi-producer multi-consumer FIFO queue for
+// Go — an implementation of Kogan & Petrank, "Wait-Free Queues With
+// Multiple Enqueuers and Dequeuers" (PPoPP 2011), with the paper's
+// optimizations, enhancements, and hazard-pointer memory-management
+// variant, plus the baselines it was evaluated against.
+//
+// # Why wait-free
+//
+// Lock-free queues (Michael–Scott and its descendants) guarantee that
+// SOME thread always makes progress, but any particular thread can starve
+// indefinitely. This queue guarantees that EVERY operation completes in a
+// bounded number of steps regardless of how other threads are scheduled —
+// the property needed under real-time deadlines, SLAs, or badly skewed
+// schedulers. The price is a helping protocol: faster threads finish the
+// operations of slower ones.
+//
+// # Thread identities
+//
+// The algorithm requires each concurrently operating thread to hold a
+// distinct small integer id below the bound passed to New. Two styles are
+// supported:
+//
+//   - Explicit tids: call Enqueue/Dequeue with a tid you manage yourself
+//     (e.g. a worker-pool index).
+//   - Handles: call Handle() to lease a tid from the queue's built-in
+//     wait-free renaming namespace — the right choice for dynamically
+//     created goroutines. Release the handle when the goroutine stops
+//     using the queue.
+//
+// # Choosing a variant
+//
+// Use the default (both optimizations, matching the paper's best
+// performer "opt WF (1+2)") unless you are studying the algorithm.
+// VariantBase is the paper's §3.2 reference version; the single-
+// optimization variants exist for the Figure 9 ablation.
+//
+// # Quick start
+//
+//	q := wfq.New[string](8) // up to 8 concurrent threads
+//	h, _ := q.Handle()
+//	defer h.Release()
+//	h.Enqueue("job-1")
+//	if v, ok := h.Dequeue(); ok {
+//		fmt.Println(v)
+//	}
+package wfq
+
+import (
+	"wfq/internal/core"
+	"wfq/internal/tid"
+)
+
+// Variant selects the algorithm flavour; see the package documentation.
+type Variant = core.Variant
+
+// Algorithm variants (the series names of the paper's figures).
+const (
+	// Base is the paper's §3.2 algorithm: phase by state-array scan,
+	// help-everyone traversal.
+	Base Variant = core.VariantBase
+	// Opt1 helps at most one other thread per operation (§3.3 opt 1).
+	Opt1 Variant = core.VariantOpt1
+	// Opt2 uses a CAS-based shared phase counter (§3.3 opt 2).
+	Opt2 Variant = core.VariantOpt2
+	// Opt12 combines both optimizations (the default and the paper's
+	// recommended configuration).
+	Opt12 Variant = core.VariantOpt12
+)
+
+// Option configures a queue.
+type Option = core.Option
+
+// Re-exported configuration options; see the internal/core documentation
+// for semantics.
+var (
+	// WithVariant selects an algorithm variant.
+	WithVariant = core.WithVariant
+	// WithHelpChunk sets how many state entries an Opt1/Opt12
+	// operation scans for helping candidates (default 1).
+	WithHelpChunk = core.WithHelpChunk
+	// WithRandomHelping switches Opt1/Opt12 helping-candidate choice
+	// from cyclic to random (probabilistic wait-freedom, §3.3).
+	WithRandomHelping = core.WithRandomHelping
+	// WithClearOnExit makes finished operations drop their node
+	// references so completed threads pin no queue memory.
+	WithClearOnExit = core.WithClearOnExit
+	// WithDescriptorCache reuses descriptor allocations whose
+	// publication CAS failed.
+	WithDescriptorCache = core.WithDescriptorCache
+	// WithPhaseProvider overrides the Opt2/Opt12 phase source.
+	WithPhaseProvider = core.WithPhaseProvider
+	// WithValidationChecks skips already-satisfied completion CASes
+	// (§3.3 performance-tuning enhancement).
+	WithValidationChecks = core.WithValidationChecks
+	// WithMetrics attaches internal event counters (help traffic, CAS
+	// failures); read them via the core Queue's Metrics method when
+	// constructing through internal/core directly.
+	WithMetrics = core.WithMetrics
+)
+
+// Queue is a wait-free MPMC FIFO queue of T. Create one with New.
+type Queue[T any] struct {
+	q   *core.Queue[T]
+	reg *tid.Registry
+}
+
+// New creates a queue supporting up to maxThreads concurrently operating
+// threads, using the Opt12 variant unless overridden by options.
+// maxThreads is an upper bound, not an exact count; it also sizes the
+// Handle namespace.
+func New[T any](maxThreads int, opts ...Option) *Queue[T] {
+	all := append([]Option{WithVariant(Opt12)}, opts...)
+	return &Queue[T]{
+		q:   core.New[T](maxThreads, all...),
+		reg: tid.NewRegistry(maxThreads),
+	}
+}
+
+// MaxThreads reports the queue's concurrency bound.
+func (q *Queue[T]) MaxThreads() int { return q.q.NumThreads() }
+
+// Enqueue inserts v at the tail on behalf of thread tid. tid must be in
+// [0, MaxThreads()) and must not be used concurrently by another
+// goroutine (use Handle for automatic management).
+func (q *Queue[T]) Enqueue(tid int, v T) { q.q.Enqueue(tid, v) }
+
+// Dequeue removes and returns the oldest element on behalf of thread tid.
+// ok is false when the queue was empty at the operation's linearization
+// point.
+func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) { return q.q.Dequeue(tid) }
+
+// Len reports a racy snapshot of the number of queued elements. O(n);
+// intended for monitoring and tests, not synchronization.
+func (q *Queue[T]) Len() int { return q.q.Len() }
+
+// Handle leases a thread id from the queue's renaming namespace and
+// returns a Handle bound to this queue. It fails with tid.ErrExhausted
+// when maxThreads goroutines concurrently hold handles.
+func (q *Queue[T]) Handle() (*Handle[T], error) {
+	h, err := q.reg.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle[T]{q: q.q, h: h}, nil
+}
+
+// Handle is a leased per-goroutine identity on a Queue. A Handle must not
+// be shared between goroutines that operate concurrently; Release it when
+// done so the id returns to the namespace.
+type Handle[T any] struct {
+	q *core.Queue[T]
+	h tid.Handle
+}
+
+// TID exposes the underlying thread id (useful for logging/debugging).
+func (h *Handle[T]) TID() int { return h.h.TID() }
+
+// Enqueue inserts v at the tail.
+func (h *Handle[T]) Enqueue(v T) { h.q.Enqueue(h.h.TID(), v) }
+
+// Dequeue removes and returns the oldest element; ok is false when the
+// queue was empty.
+func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.q.Dequeue(h.h.TID()) }
+
+// Release returns the leased id. The Handle must not be used afterwards.
+func (h *Handle[T]) Release() { h.h.Release() }
+
+// HPQueue is the hazard-pointer variant of the queue (§3.4 of the paper):
+// nodes are recycled through per-thread pools instead of being left to
+// the garbage collector, demonstrating — and testing — the discipline a
+// runtime without GC would need. For ordinary Go use, prefer Queue.
+type HPQueue[T any] struct {
+	q   *core.HPQueue[T]
+	reg *tid.Registry
+}
+
+// NewHP creates a hazard-pointer-backed queue for up to maxThreads
+// threads. poolCap bounds each thread's node free list (0 selects the
+// default).
+func NewHP[T any](maxThreads, poolCap int) *HPQueue[T] {
+	return &HPQueue[T]{
+		q:   core.NewHP[T](maxThreads, poolCap, 0),
+		reg: tid.NewRegistry(maxThreads),
+	}
+}
+
+// MaxThreads reports the queue's concurrency bound.
+func (q *HPQueue[T]) MaxThreads() int { return q.q.NumThreads() }
+
+// Enqueue inserts v at the tail on behalf of thread tid.
+func (q *HPQueue[T]) Enqueue(tid int, v T) { q.q.Enqueue(tid, v) }
+
+// Dequeue removes and returns the oldest element on behalf of thread tid.
+func (q *HPQueue[T]) Dequeue(tid int) (v T, ok bool) { return q.q.Dequeue(tid) }
+
+// PoolStats reports node reuse counters (hits, allocator misses, drops).
+func (q *HPQueue[T]) PoolStats() (hits, misses, drops int64) { return q.q.PoolStats() }

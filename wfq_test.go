@@ -1,0 +1,160 @@
+package wfq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wfq/internal/tid"
+)
+
+func TestFacadeBasics(t *testing.T) {
+	q := New[string](4)
+	if q.MaxThreads() != 4 {
+		t.Fatalf("MaxThreads %d", q.MaxThreads())
+	}
+	q.Enqueue(0, "a")
+	q.Enqueue(1, "b")
+	if q.Len() != 2 {
+		t.Fatalf("Len %d", q.Len())
+	}
+	if v, ok := q.Dequeue(2); !ok || v != "a" {
+		t.Fatalf("(%q,%v)", v, ok)
+	}
+	if v, ok := q.Dequeue(3); !ok || v != "b" {
+		t.Fatalf("(%q,%v)", v, ok)
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+}
+
+func TestFacadeVariants(t *testing.T) {
+	for _, v := range []Variant{Base, Opt1, Opt2, Opt12} {
+		q := New[int64](2, WithVariant(v))
+		q.Enqueue(0, int64(v))
+		if got, ok := q.Dequeue(1); !ok || got != int64(v) {
+			t.Fatalf("variant %v: (%d,%v)", v, got, ok)
+		}
+	}
+	// Options compose.
+	q := New[int64](3, WithVariant(Base), WithClearOnExit(), WithDescriptorCache(), WithHelpChunk(2))
+	q.Enqueue(0, 5)
+	if v, ok := q.Dequeue(1); !ok || v != 5 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+}
+
+func TestHandles(t *testing.T) {
+	q := New[int](2)
+	h1, err := q.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := q.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.TID() == h2.TID() {
+		t.Fatal("handles share a tid")
+	}
+	if _, err := q.Handle(); err != tid.ErrExhausted {
+		t.Fatalf("expected exhaustion, got %v", err)
+	}
+	h1.Enqueue(1)
+	h2.Enqueue(2)
+	if v, ok := h1.Dequeue(); !ok || v != 1 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	h1.Release()
+	h3, err := q.Handle() // the released id is reusable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h3.Dequeue(); !ok || v != 2 {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+	h2.Release()
+	h3.Release()
+}
+
+func TestManyGoroutinesViaHandles(t *testing.T) {
+	const maxThreads = 8
+	const goroutines = 64
+	const perG = 200
+	q := New[int](maxThreads)
+	sem := make(chan struct{}, maxThreads) // bound concurrency below the namespace size
+	var wg sync.WaitGroup
+	var sum, want int64
+	var mu sync.Mutex
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			h, err := q.Handle()
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			defer h.Release()
+			local := int64(0)
+			for i := 0; i < perG; i++ {
+				h.Enqueue(g*perG + i)
+				if v, ok := h.Dequeue(); ok {
+					local += int64(v)
+				}
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		mu.Lock()
+		sum += int64(v)
+		mu.Unlock()
+	}
+	for i := 0; i < goroutines*perG; i++ {
+		want += int64(i)
+	}
+	if sum != want {
+		t.Fatalf("sum %d, want %d", sum, want)
+	}
+}
+
+func TestHPFacade(t *testing.T) {
+	q := NewHP[int64](2, 64)
+	if q.MaxThreads() != 2 {
+		t.Fatalf("MaxThreads %d", q.MaxThreads())
+	}
+	for i := int64(0); i < 500; i++ {
+		q.Enqueue(0, i)
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("(%d,%v) want %d", v, ok, i)
+		}
+	}
+	hits, _, _ := q.PoolStats()
+	if hits == 0 {
+		t.Fatal("HP pool never reused nodes")
+	}
+}
+
+func ExampleQueue() {
+	q := New[string](4)
+	h, _ := q.Handle()
+	defer h.Release()
+	h.Enqueue("hello")
+	h.Enqueue("world")
+	a, _ := h.Dequeue()
+	b, _ := h.Dequeue()
+	_, ok := h.Dequeue()
+	fmt.Println(a, b, ok)
+	// Output: hello world false
+}
