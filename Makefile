@@ -1,0 +1,16 @@
+# Convenience targets; `make check` is the tier-1 gate every change
+# must pass (see README.md).
+
+.PHONY: check test bench figures
+
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -run xxx -bench 'Enqueue|Dequeue|Mixed' -benchtime 10x .
+
+figures:
+	go run ./cmd/wfqpaper

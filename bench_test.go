@@ -11,6 +11,7 @@ package wfq_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"wfq"
@@ -115,6 +116,88 @@ func BenchmarkFig10Space(b *testing.B) {
 			}
 			b.ReportMetric(last/size, "bytes/node")
 		})
+	}
+}
+
+// --- Fast-path engine benchmarks --------------------------------------
+
+// fastPathSeries are the series the fast-path/slow-path engine is judged
+// against: the lock-free baseline it borrows its fast attempts from, and
+// the paper's best wait-free performer it falls back to.
+func fastPathSeries() []harness.Algorithm {
+	return []harness.Algorithm{harness.LF(), harness.OptWF12(), harness.FastWF()}
+}
+
+// runOpsPhase times one single-kind operation phase per b.N iteration:
+// threads goroutines each performing benchIters enqueues (or dequeues of
+// a pre-filled queue).
+func runOpsPhase(b *testing.B, alg harness.Algorithm, threads int, enqueue bool) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := alg.New(threads)
+		if !enqueue {
+			for j := 0; j < threads*benchIters; j++ {
+				q.Enqueue(0, int64(j))
+			}
+		}
+		var wg sync.WaitGroup
+		b.StartTimer()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				if enqueue {
+					for j := 0; j < benchIters; j++ {
+						q.Enqueue(tid, int64(tid*benchIters+j))
+					}
+				} else {
+					for j := 0; j < benchIters; j++ {
+						q.Dequeue(tid)
+					}
+				}
+			}(t)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(threads*benchIters*b.N)/b.Elapsed().Seconds(), "queueops/s")
+}
+
+// BenchmarkEnqueue compares pure enqueue throughput of the lock-free
+// baseline, the recommended wait-free configuration, and the fast-path
+// engine (which should track LF at low thread counts).
+func BenchmarkEnqueue(b *testing.B) {
+	for _, alg := range fastPathSeries() {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", alg.Name, n), func(b *testing.B) {
+				runOpsPhase(b, alg, n, true)
+			})
+		}
+	}
+}
+
+// BenchmarkDequeue is the dequeue-side counterpart over a pre-filled
+// queue.
+func BenchmarkDequeue(b *testing.B) {
+	for _, alg := range fastPathSeries() {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", alg.Name, n), func(b *testing.B) {
+				runOpsPhase(b, alg, n, false)
+			})
+		}
+	}
+}
+
+// BenchmarkMixed runs the same three series through the paper's pairs
+// workload — mixed enqueues and dequeues under the full harness.
+func BenchmarkMixed(b *testing.B) {
+	for _, alg := range fastPathSeries() {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", alg.Name, n), func(b *testing.B) {
+				runWorkload(b, alg, harness.Pairs, n, harness.Profile{})
+			})
+		}
 	}
 }
 

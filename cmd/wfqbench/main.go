@@ -6,7 +6,12 @@
 //
 //	wfqbench [-workload pairs|fifty] [-algs "LF,opt WF (1+2)"]
 //	         [-threads 1,2,4,8] [-iters N] [-repeats N]
-//	         [-profile default|preempt|oversub] [-csv]
+//	         [-profile default|preempt|oversub] [-csv] [-jsondir DIR]
+//
+// With -jsondir, the sweep additionally writes one machine-readable
+// snapshot per series into DIR, named BENCH_<series>.json (series name
+// sanitized to [A-Za-z0-9_]), so successive runs can be diffed and
+// regressions tracked in version control.
 //
 // Unlike wfqpaper (which reproduces the paper's exact figures), wfqbench
 // is the kitchen-sink tool: it also knows the extended baselines (mutex,
@@ -14,15 +19,96 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"wfq/internal/harness"
 	"wfq/internal/report"
 )
+
+// benchDoc is the schema of a BENCH_<series>.json snapshot.
+type benchDoc struct {
+	Series     string       `json:"series"`
+	Workload   string       `json:"workload"`
+	Profile    string       `json:"profile"`
+	Iters      int          `json:"iters"`
+	Repeats    int          `json:"repeats"`
+	OpsPerIter int          `json:"ops_per_iter"`
+	Points     []benchPoint `json:"points"`
+}
+
+type benchPoint struct {
+	Threads   int     `json:"threads"`
+	SecMean   float64 `json:"sec_mean"`
+	SecStd    float64 `json:"sec_std"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// sanitizeSeries maps a series label to a filename fragment: letters and
+// digits survive, every other run of characters collapses to one '_'.
+func sanitizeSeries(name string) string {
+	var b strings.Builder
+	pend := false
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			if pend && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pend = false
+			b.WriteRune(r)
+		default:
+			pend = true
+		}
+	}
+	return b.String()
+}
+
+// writeJSON writes one snapshot per algorithm series into dir.
+func writeJSON(dir string, pts []harness.SweepPoint, w harness.Workload, profile string, iters, repeats int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	opsPerIter := 1
+	if w == harness.Pairs {
+		opsPerIter = 2 // each iteration is an enqueue + a dequeue
+	}
+	docs := map[string]*benchDoc{}
+	var order []string
+	for _, pt := range pts {
+		d, ok := docs[pt.Algorithm]
+		if !ok {
+			d = &benchDoc{
+				Series: pt.Algorithm, Workload: w.String(), Profile: profile,
+				Iters: iters, Repeats: repeats, OpsPerIter: opsPerIter,
+			}
+			docs[pt.Algorithm] = d
+			order = append(order, pt.Algorithm)
+		}
+		ops := float64(opsPerIter*iters*pt.Threads) / pt.Summary.Mean
+		d.Points = append(d.Points, benchPoint{
+			Threads: pt.Threads, SecMean: pt.Summary.Mean,
+			SecStd: pt.Summary.Std, OpsPerSec: ops,
+		})
+	}
+	for _, name := range order {
+		buf, err := json.MarshalIndent(docs[name], "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+sanitizeSeries(name)+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wfqbench: wrote %s\n", path)
+	}
+	return nil
+}
 
 func main() {
 	workload := flag.String("workload", "pairs", "workload: pairs or fifty")
@@ -32,6 +118,7 @@ func main() {
 	repeats := flag.Int("repeats", 3, "averaged runs per data point")
 	profileName := flag.String("profile", "default", "scheduler profile: default, preempt or oversub")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsondir := flag.String("jsondir", "", "also write BENCH_<series>.json snapshots into this directory")
 	list := flag.Bool("list", false, "list available algorithms and profiles, then exit")
 	flag.Parse()
 
@@ -103,6 +190,11 @@ func main() {
 		fmt.Print(tab.CSV())
 	} else {
 		fmt.Println(tab.String())
+	}
+	if *jsondir != "" {
+		if err := writeJSON(*jsondir, pts, w, prof.Name, *iters, *repeats); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -37,6 +37,8 @@ func main() {
 		"opt WF (1)":       "wait-free",
 		"opt WF (2)":       "wait-free",
 		"opt WF (1+2)":     "wait-free",
+		"fast WF":          "wait-free (lock-free fast path)",
+		"fast WF+HP":       "wait-free (fast path), no GC needed",
 		"opt WF (1+2) rnd": "wait-free (probabilistic)",
 		"base WF (clear)":  "wait-free",
 		"base WF+HP":       "wait-free, no GC needed",

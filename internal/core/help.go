@@ -3,24 +3,52 @@ package core
 import "wfq/internal/yield"
 
 // Enqueue inserts v at the tail on behalf of thread tid — the paper's
-// enq(), Lines 61–66.
+// enq(), Lines 61–66, preceded by the bounded lock-free fast path when
+// the queue runs VariantFast.
 func (q *Queue[T]) Enqueue(tid int, v T) {
 	q.checkTid(tid)
 	q.met.incOp(tid)
-	ph := q.nextPhase()                                                   // Line 62
-	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: newNode(v, int32(tid))}) // Line 63
-	q.help(tid, ph, true)                                                 // Line 64
-	q.helpFinishEnq(tid)                                                  // Line 65
+	var n *node[T]
+	if q.patience > 0 {
+		// Fast path: the node is thread-local until the append CAS, so
+		// it carries enqTid = noTID — there is no descriptor for a
+		// helper to complete.
+		n = newNode(v, noTID)
+		if q.fastEnqueue(tid, n) {
+			q.met.incFastEnq(tid)
+			return
+		}
+		q.met.incFastExpired(tid)
+		// Patience exhausted; the node was never published (every
+		// append CAS failed), so it can be re-owned for the slow path:
+		// helpers locate the descriptor through enqTid (Line 89).
+		n.enqTid = int32(tid)
+	} else {
+		n = newNode(v, int32(tid))
+	}
+	ph := q.nextPhase()                                                        // Line 62
+	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: n}) // Line 63
+	q.help(tid, ph, true)                                                      // Line 64
+	q.helpFinishEnq(tid)                                                       // Line 65
 	if q.clearOnExit {
 		q.clearDesc(tid, ph, true)
 	}
 }
 
 // Dequeue removes the oldest element on behalf of thread tid — the
-// paper's deq(), Lines 98–108. ok=false is the EmptyException case.
+// paper's deq(), Lines 98–108, preceded by the bounded lock-free fast
+// path when the queue runs VariantFast. ok=false is the EmptyException
+// case.
 func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 	q.checkTid(tid)
 	q.met.incOp(tid)
+	if q.patience > 0 {
+		if v, ok, done := q.fastDequeue(tid); done {
+			q.met.incFastDeq(tid)
+			return v, ok
+		}
+		q.met.incFastExpired(tid)
+	}
 	ph := q.nextPhase()                                                    // Line 99
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false}) // Line 100
 	q.help(tid, ph, false)                                                 // Line 101
@@ -37,6 +65,83 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 		q.clearDesc(tid, ph, false)
 	}
 	return v, true
+}
+
+// fastEnqueue runs up to patience Michael–Scott-style append attempts for
+// node n. It linearizes at the same CAS as the slow path (Line 74); after
+// a success the enqueuer calls helpFinishEnq itself so tail is fixed (or
+// a slower helper's fix is tolerated). The paper's Line 73 pending
+// re-check hazard does not arise here: n is invisible to every other
+// thread until the append CAS, so no helper can re-append it.
+func (q *Queue[T]) fastEnqueue(tid int, n *node[T]) bool {
+	for attempt := 0; attempt < q.patience; attempt++ {
+		yield.At(yield.KPFastEnqAttempt, tid, tid)
+		last := q.tailRef.Load()
+		next := last.next.Load()
+		if last != q.tailRef.Load() {
+			continue
+		}
+		if next == nil {
+			yield.At(yield.KPFastBeforeAppend, tid, tid)
+			if last.next.CompareAndSwap(nil, n) {
+				yield.At(yield.KPFastAfterAppend, tid, tid)
+				q.helpFinishEnq(tid)
+				return true
+			}
+			q.met.incAppendFail(tid)
+		} else {
+			// Tail lags behind a (fast- or slow-path) append; fix it
+			// — and complete the owner's descriptor if it has one —
+			// exactly as a slow-path helper would.
+			q.helpFinishEnq(tid)
+		}
+	}
+	return false
+}
+
+// fastDequeue runs up to patience Michael–Scott-style dequeue attempts.
+// done=false means patience was exhausted without linearizing; the caller
+// falls back to the slow path. A fast dequeue respects the deqTid
+// sentinel lock: it linearizes by CASing deqTid from noTID to fastTID —
+// the same claim CAS the slow path's Stage 2 uses (Line 135) — so fast
+// and slow dequeues serialize on the sentinel and can never take the same
+// element twice.
+func (q *Queue[T]) fastDequeue(tid int) (v T, ok, done bool) {
+	for attempt := 0; attempt < q.patience; attempt++ {
+		yield.At(yield.KPFastDeqAttempt, tid, tid)
+		first := q.headRef.Load()
+		last := q.tailRef.Load()
+		next := first.next.Load()
+		if first != q.headRef.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				// Empty: first == head with first.next == nil was
+				// observed while head == first held (the re-check
+				// above), which is the MS empty linearization.
+				return v, false, true
+			}
+			// Tail lags behind an in-progress append.
+			q.helpFinishEnq(tid)
+			continue
+		}
+		// Non-empty (head != tail implies next != nil, as in MS).
+		yield.At(yield.KPFastBeforeDeqTidCAS, tid, tid)
+		if first.deqTid.CompareAndSwap(noTID, fastTID) {
+			yield.At(yield.KPFastAfterDeqTidCAS, tid, tid)
+			v = next.value
+			// Fix head past the claimed sentinel (helpers racing on
+			// the same sentinel do the same and tolerate fastTID).
+			q.helpFinishDeq(tid)
+			return v, true, true
+		}
+		q.met.incDeqClaimFail(tid)
+		// The sentinel is locked by another (fast or slow) dequeue;
+		// finish it and retry on the advanced head.
+		q.helpFinishDeq(tid)
+	}
+	return v, false, false
 }
 
 // clearDesc installs a fresh non-pending, node-free descriptor (§3.3
@@ -163,6 +268,19 @@ func (q *Queue[T]) helpFinishEnq(caller int) {
 		return
 	}
 	tid := int(next.enqTid) // Line 89: owner of the dangling node
+	if tid == noTIDInt {
+		// A fast-path append: the node has no descriptor to complete
+		// (step 2 does not exist), so the only work is step 3, the
+		// tail fix. Skipping this branch would livelock every slow
+		// helper behind the dangling node: helpEnq retries through
+		// helpFinishEnq until tail advances. next is immutable once
+		// read from last.next (write-once), so the CAS is safe even if
+		// tail moved meanwhile — it then simply fails.
+		if q.tailRef.CompareAndSwap(last, next) {
+			q.met.incTailFix(caller)
+		}
+		return
+	}
 	if tid < 0 || tid >= q.nthreads {
 		// Unreachable for this queue's own nodes; guards against a
 		// foreign sentinel if callers misuse multiple queues.
@@ -264,6 +382,17 @@ func (q *Queue[T]) helpFinishDeq(caller int) {
 	if tid == noTIDInt {             // Line 145
 		return
 	}
+	if tid == fastTIDInt {
+		// The sentinel is locked by a fast-path dequeue: there is no
+		// descriptor to complete (the claimant reads its value directly
+		// from next), so the only work is step 3, the head fix. next is
+		// non-nil whenever deqTid is claimed — the claim CAS runs only
+		// after next was observed non-nil, and next is write-once.
+		if next != nil && q.headRef.CompareAndSwap(first, next) {
+			q.met.incHeadFix(caller)
+		}
+		return
+	}
 	if tid < 0 || tid >= q.nthreads {
 		return
 	}
@@ -289,8 +418,12 @@ func (q *Queue[T]) helpFinishDeq(caller int) {
 	}
 }
 
-// noTIDInt is noTID as an int for comparisons after widening.
-const noTIDInt = int(noTID)
+// noTIDInt and fastTIDInt are the sentinel tids as ints for comparisons
+// after widening.
+const (
+	noTIDInt   = int(noTID)
+	fastTIDInt = int(fastTID)
+)
 
 // Len counts the elements currently in the queue by walking the list from
 // head. It is a racy O(n) snapshot intended for tests and examples, not

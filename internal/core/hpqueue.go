@@ -6,6 +6,7 @@ import (
 
 	"wfq/internal/hazard"
 	"wfq/internal/pool"
+	"wfq/internal/yield"
 )
 
 // HPQueue is the §3.4 adaptation of the wait-free queue for runtimes
@@ -37,15 +38,19 @@ type HPQueue[T any] struct {
 	tailRef paddedPtr[T]
 	state   []paddedDesc[T]
 	nthr    int
+	// patience is the fast-path attempt bound (WithFastPath); 0 sends
+	// every operation straight to the helping protocol.
+	patience int
 
 	dom   *hazard.Domain[node[T]]
 	nodes *pool.Pool[node[T]]
 }
 
-// paddedPtr isolates the head/tail words on their own cache lines.
+// paddedPtr isolates the head/tail words on their own cache-line pairs
+// (see sepBytes).
 type paddedPtr[T any] struct {
 	p atomic.Pointer[node[T]]
-	_ [56]byte
+	_ [sepBytes - 8]byte
 }
 
 // hpSlots is K, the hazard slots each thread needs: one for the anchor
@@ -55,13 +60,20 @@ const hpSlots = 2
 // NewHP creates a hazard-pointer-backed queue for up to nthreads threads.
 // poolCap bounds each thread's free list (<=0 selects the pool default);
 // scanThreshold tunes the hazard domain (<=0 selects Michael's 2·K·n).
-func NewHP[T any](nthreads, poolCap, scanThreshold int) *HPQueue[T] {
+// Of the Queue options only WithFastPath is honoured (the HP queue's
+// helping structure is fixed to the base algorithm's).
+func NewHP[T any](nthreads, poolCap, scanThreshold int, opts ...Option) *HPQueue[T] {
 	if nthreads <= 0 {
 		panic("core: nthreads must be positive")
 	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	q := &HPQueue[T]{
-		state: make([]paddedDesc[T], nthreads),
-		nthr:  nthreads,
+		state:    make([]paddedDesc[T], nthreads),
+		nthr:     nthreads,
+		patience: cfg.patience,
 	}
 	q.nodes = pool.New[node[T]](nthreads, poolCap, func() *node[T] { return &node[T]{} })
 	q.dom = hazard.NewDomain[node[T]](nthreads, hpSlots, scanThreshold, func(tid int, n *node[T]) {
@@ -81,7 +93,12 @@ func NewHP[T any](nthreads, poolCap, scanThreshold int) *HPQueue[T] {
 func (q *HPQueue[T]) NumThreads() int { return q.nthr }
 
 // Name implements the harness's Named interface.
-func (q *HPQueue[T]) Name() string { return "base WF+HP" }
+func (q *HPQueue[T]) Name() string {
+	if q.patience > 0 {
+		return "fast WF+HP"
+	}
+	return "base WF+HP"
+}
 
 // Domain exposes the hazard domain for tests and metrics.
 func (q *HPQueue[T]) Domain() *hazard.Domain[node[T]] { return q.dom }
@@ -113,9 +130,21 @@ func (q *HPQueue[T]) isStillPending(tid int, ph int64) bool {
 // Enqueue inserts v at the tail on behalf of thread tid.
 func (q *HPQueue[T]) Enqueue(tid int, v T) {
 	q.checkTid(tid)
-	ph := q.maxPhase() + 1
 	n := q.nodes.Get(tid)
-	n.reset(v, int32(tid))
+	if q.patience > 0 {
+		// Fast path: the node carries enqTid = noTID (no descriptor
+		// for helpers to complete) until a fallback re-owns it.
+		n.reset(v, noTID)
+		if q.fastEnqueue(tid, n) {
+			q.dom.ClearAll(tid)
+			return
+		}
+		// Never published (every append CAS failed): safe to re-own.
+		n.enqTid = int32(tid)
+	} else {
+		n.reset(v, int32(tid))
+	}
+	ph := q.maxPhase() + 1
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: n})
 	q.help(tid, ph)
 	q.helpFinishEnq(tid)
@@ -126,6 +155,13 @@ func (q *HPQueue[T]) Enqueue(tid int, v T) {
 // when the operation linearized on an empty queue.
 func (q *HPQueue[T]) Dequeue(tid int) (v T, ok bool) {
 	q.checkTid(tid)
+	if q.patience > 0 {
+		v, ok, done := q.fastDequeue(tid)
+		if done {
+			q.dom.ClearAll(tid)
+			return v, ok
+		}
+	}
 	ph := q.maxPhase() + 1
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false})
 	q.help(tid, ph)
@@ -135,6 +171,71 @@ func (q *HPQueue[T]) Dequeue(tid int) (v T, ok bool) {
 	// §3.4: the result travels in the descriptor itself; d.node may
 	// reference an already-recycled sentinel and is never dereferenced.
 	return d.value, d.hasValue
+}
+
+// fastEnqueue is the HP form of the bounded lock-free fast path. The
+// hazard discipline matches helpEnq's: the tail anchor is protected
+// before any dereference; n is thread-local until the append CAS.
+func (q *HPQueue[T]) fastEnqueue(tid int, n *node[T]) bool {
+	for attempt := 0; attempt < q.patience; attempt++ {
+		yield.At(yield.KPFastEnqAttempt, tid, tid)
+		last := q.dom.Protect(tid, 0, &q.tailRef.p)
+		next := last.next.Load()
+		if last != q.tailRef.p.Load() {
+			continue
+		}
+		if next == nil {
+			yield.At(yield.KPFastBeforeAppend, tid, tid)
+			if last.next.CompareAndSwap(nil, n) {
+				yield.At(yield.KPFastAfterAppend, tid, tid)
+				q.helpFinishEnq(tid)
+				return true
+			}
+		} else {
+			q.helpFinishEnq(tid)
+		}
+	}
+	return false
+}
+
+// fastDequeue is the HP form of the bounded lock-free dequeue. Claiming
+// deqTid can only succeed while first is the live sentinel (head advances
+// past a node only after its deqTid is claimed, and deqTid is reset only
+// by pool reuse, which the hazard on first excludes), so the fastTID
+// claim is ABA-safe even with node recycling.
+func (q *HPQueue[T]) fastDequeue(tid int) (v T, ok, done bool) {
+	for attempt := 0; attempt < q.patience; attempt++ {
+		yield.At(yield.KPFastDeqAttempt, tid, tid)
+		first := q.dom.Protect(tid, 0, &q.headRef.p)
+		last := q.tailRef.p.Load()
+		next := first.next.Load()
+		if first != q.headRef.p.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				return v, false, true // empty
+			}
+			q.helpFinishEnq(tid)
+			continue
+		}
+		// Publish next and re-validate before dereferencing it: head
+		// still at first means next has not left the list, so it was
+		// not retired before our hazard became visible.
+		q.dom.Set(tid, 1, next)
+		if q.headRef.p.Load() != first {
+			continue
+		}
+		yield.At(yield.KPFastBeforeDeqTidCAS, tid, tid)
+		if first.deqTid.CompareAndSwap(noTID, fastTID) {
+			yield.At(yield.KPFastAfterDeqTidCAS, tid, tid)
+			v = next.value // next is hazard-protected
+			q.helpFinishDeq(tid)
+			return v, true, true
+		}
+		q.helpFinishDeq(tid)
+	}
+	return v, false, false
 }
 
 func (q *HPQueue[T]) help(caller int, ph int64) {
@@ -196,6 +297,12 @@ func (q *HPQueue[T]) helpFinishEnq(caller int) {
 		return
 	}
 	tid := int(next.enqTid)
+	if tid == noTIDInt {
+		// Fast-path node: no descriptor to complete, only the tail fix
+		// (see Queue.helpFinishEnq).
+		q.tailRef.p.CompareAndSwap(last, next)
+		return
+	}
 	if tid < 0 || tid >= q.nthr {
 		return
 	}
@@ -255,6 +362,18 @@ func (q *HPQueue[T]) helpFinishDeq(caller int) {
 	next := first.next.Load()
 	dtid := int(first.deqTid.Load())
 	if dtid == noTIDInt {
+		return
+	}
+	if dtid == fastTIDInt {
+		// Sentinel locked by a fast-path dequeue: no descriptor to
+		// complete, only the head fix; the winner retires the node.
+		// The head CAS does not dereference next, so no hazard on it
+		// is needed here.
+		if first == q.headRef.p.Load() && next != nil {
+			if q.headRef.p.CompareAndSwap(first, next) {
+				q.dom.Retire(caller, first)
+			}
+		}
 		return
 	}
 	if dtid < 0 || dtid >= q.nthr {

@@ -15,7 +15,8 @@ import "fmt"
 //  4. every completed enqueue descriptor's node, if set, lies in the
 //     list or has been dequeued (reachability is not required — it may
 //     have been consumed — but the sentinel chain must not cycle);
-//  5. the sentinel's deqTid is either unset or names a valid thread.
+//  5. the sentinel's deqTid is either unset, names a valid thread, or is
+//     the fast-path claim mark (fastTID).
 func (q *Queue[T]) CheckInvariants() error {
 	head := q.headRef.Load()
 	tail := q.tailRef.Load()
@@ -70,7 +71,7 @@ func (q *Queue[T]) CheckInvariants() error {
 		}
 	}
 
-	if dt := int(head.deqTid.Load()); dt != noTIDInt && (dt < 0 || dt >= q.nthreads) {
+	if dt := int(head.deqTid.Load()); dt != noTIDInt && dt != fastTIDInt && (dt < 0 || dt >= q.nthreads) {
 		return fmt.Errorf("core: sentinel deqTid %d out of range", dt)
 	}
 	return nil

@@ -33,7 +33,17 @@ type metricCounters struct {
 	// TailFixes / HeadFixes count successful Line 94 / Line 150 CASes.
 	tailFixes atomic.Int64
 	headFixes atomic.Int64
-	_         [8]byte // round the struct up to whole cache lines
+	// FastEnqHits / FastDeqHits count operations completed on the
+	// VariantFast lock-free fast path (no descriptor published);
+	// FastFallbacks counts patience exhaustions — operations that fell
+	// back to the wait-free helping protocol. The fallback rate is
+	// FastFallbacks / OpsStarted.
+	fastEnqHits   atomic.Int64
+	fastDeqHits   atomic.Int64
+	fastFallbacks atomic.Int64
+	// DeqClaimFailures counts lost fast-path deqTid claim races.
+	deqClaimFailures atomic.Int64
+	_                [40]byte // round the struct up to whole cache-line pairs
 }
 
 // newMetrics allocates counter blocks for nthreads threads.
@@ -50,6 +60,23 @@ type Snapshot struct {
 	DescCASFailures   int64
 	TailFixes         int64
 	HeadFixes         int64
+	FastEnqHits       int64
+	FastDeqHits       int64
+	FastFallbacks     int64
+	DeqClaimFailures  int64
+}
+
+// FastHits is the total number of operations completed on the fast path.
+func (s Snapshot) FastHits() int64 { return s.FastEnqHits + s.FastDeqHits }
+
+// FallbackRate is the fraction of started operations that exhausted their
+// fast-path patience and fell back to the helping protocol (0 when no
+// operation has started).
+func (s Snapshot) FallbackRate() float64 {
+	if s.OpsStarted == 0 {
+		return 0
+	}
+	return float64(s.FastFallbacks) / float64(s.OpsStarted)
 }
 
 // Thread returns a snapshot of thread tid's counters.
@@ -63,6 +90,10 @@ func (m *Metrics) Thread(tid int) Snapshot {
 		DescCASFailures:   c.descCASFailures.Load(),
 		TailFixes:         c.tailFixes.Load(),
 		HeadFixes:         c.headFixes.Load(),
+		FastEnqHits:       c.fastEnqHits.Load(),
+		FastDeqHits:       c.fastDeqHits.Load(),
+		FastFallbacks:     c.fastFallbacks.Load(),
+		DeqClaimFailures:  c.deqClaimFailures.Load(),
 	}
 }
 
@@ -78,6 +109,10 @@ func (m *Metrics) Total() Snapshot {
 		t.DescCASFailures += s.DescCASFailures
 		t.TailFixes += s.TailFixes
 		t.HeadFixes += s.HeadFixes
+		t.FastEnqHits += s.FastEnqHits
+		t.FastDeqHits += s.FastDeqHits
+		t.FastFallbacks += s.FastFallbacks
+		t.DeqClaimFailures += s.DeqClaimFailures
 	}
 	return t
 }
@@ -119,5 +154,25 @@ func (m *Metrics) incTailFix(tid int) {
 func (m *Metrics) incHeadFix(tid int) {
 	if m != nil {
 		m.counters[tid].headFixes.Add(1)
+	}
+}
+func (m *Metrics) incFastEnq(tid int) {
+	if m != nil {
+		m.counters[tid].fastEnqHits.Add(1)
+	}
+}
+func (m *Metrics) incFastDeq(tid int) {
+	if m != nil {
+		m.counters[tid].fastDeqHits.Add(1)
+	}
+}
+func (m *Metrics) incFastExpired(tid int) {
+	if m != nil {
+		m.counters[tid].fastFallbacks.Add(1)
+	}
+}
+func (m *Metrics) incDeqClaimFail(tid int) {
+	if m != nil {
+		m.counters[tid].deqClaimFailures.Add(1)
 	}
 }

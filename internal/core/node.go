@@ -7,6 +7,15 @@ import "sync/atomic"
 // initializes both to -1).
 const noTID int32 = -1
 
+// fastTID is the deqTid value a fast-path dequeue (VariantFast) claims
+// the sentinel with. A fast-path operation has no descriptor, so helpers
+// that find deqTid = fastTID — or a dangling node with enqTid = noTID,
+// the mark of a fast-path append — skip descriptor completion and only
+// fix head/tail. fastTID is distinct from every valid thread id and from
+// noTID, so the deqTid CAS discipline (claimed at most once, never reset
+// while the node is in the list) is unchanged.
+const fastTID int32 = -2
+
 // node is an element of the underlying singly-linked list — the paper's
 // Node class (Figure 1, Lines 1–12).
 type node[T any] struct {

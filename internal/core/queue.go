@@ -25,6 +25,16 @@ const (
 	// VariantOpt12 combines both optimizations — the "opt WF (1+2)"
 	// series of Figures 7–9.
 	VariantOpt12
+	// VariantFast is the fast-path/slow-path execution engine: an
+	// operation first runs a bounded number of plain lock-free
+	// (Michael–Scott-style) attempts directly on head/tail — no phase,
+	// no descriptor, no state-array store — and only on exhausting that
+	// patience publishes a descriptor and enters the wait-free helping
+	// machinery (which runs the VariantOpt12 slow path). Per-thread step
+	// complexity stays bounded, so wait-freedom is preserved, while the
+	// uncontended cost matches the lock-free baseline. See ALGORITHM.md,
+	// "The fast path".
+	VariantFast
 )
 
 // String names the variant as the paper's figures do.
@@ -38,6 +48,8 @@ func (v Variant) String() string {
 		return "opt WF (2)"
 	case VariantOpt12:
 		return "opt WF (1+2)"
+	case VariantFast:
+		return "fast WF"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
@@ -49,6 +61,7 @@ type Option func(*config)
 type config struct {
 	variant     Variant
 	helpChunk   int
+	patience    int
 	randomHelp  bool
 	clearOnExit bool
 	descCache   bool
@@ -57,8 +70,32 @@ type config struct {
 	phases      phase.Provider
 }
 
+// DefaultPatience is the number of lock-free fast-path attempts an
+// operation makes before falling back to the wait-free helping protocol
+// when WithFastPath is enabled without an explicit patience. Large enough
+// that transient contention rarely forces the fallback, small enough that
+// the per-operation step bound stays tight.
+const DefaultPatience = 8
+
 // WithVariant selects the algorithm variant (default VariantBase).
 func WithVariant(v Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithFastPath selects VariantFast and sets its patience: the number of
+// bounded lock-free attempts Enqueue/Dequeue make on the head/tail before
+// publishing a descriptor and entering the wait-free helping protocol.
+// patience <= 0 selects DefaultPatience. The fast path linearizes at the
+// same CASes as the slow path (the Line 74 append, the Line 135 deqTid
+// claim), so the two paths compose into a single linearizable history;
+// the bounded patience preserves wait-freedom.
+func WithFastPath(patience int) Option {
+	return func(c *config) {
+		c.variant = VariantFast
+		if patience <= 0 {
+			patience = DefaultPatience
+		}
+		c.patience = patience
+	}
+}
 
 // WithHelpChunk sets k, the number of state-array entries a VariantOpt1/
 // VariantOpt12 operation examines for helping (§3.3 allows any 1 ≤ k < n;
@@ -103,11 +140,18 @@ func WithDescriptorCache() Option { return func(c *config) { c.descCache = true 
 // fetch-and-add alternative §3.3 mentions).
 func WithPhaseProvider(p phase.Provider) Option { return func(c *config) { c.phases = p } }
 
-// paddedDesc keeps each thread's state entry on its own cache line; the
-// entries are the hottest CAS targets in the algorithm.
+// sepBytes is the false-sharing separation unit for the hot per-thread
+// and head/tail words: two cache lines, not one, because the adjacent-
+// cacheline prefetcher of modern x86 cores pulls lines in 128-byte pairs,
+// so 64-byte separation still ping-pongs neighbouring entries. The
+// compile-time assertions in padding_test.go keep the struct sizes honest.
+const sepBytes = 128
+
+// paddedDesc keeps each thread's state entry on its own cache-line pair;
+// the entries are the hottest CAS targets in the algorithm.
 type paddedDesc[T any] struct {
 	p atomic.Pointer[opDesc[T]]
-	_ [56]byte
+	_ [sepBytes - 8]byte
 }
 
 // paddedCursor is a per-thread helping cursor for VariantOpt1/Opt12.
@@ -115,13 +159,13 @@ type paddedDesc[T any] struct {
 type paddedCursor struct {
 	i   int
 	rng xrand.SplitMix64
-	_   [40]byte
+	_   [sepBytes - 16]byte
 }
 
 // descCacheSlot holds one reusable, never-published descriptor per thread.
 type descCacheSlot[T any] struct {
 	d *opDesc[T]
-	_ [56]byte
+	_ [sepBytes - 8]byte
 }
 
 // Queue is the Kogan–Petrank wait-free MPMC FIFO queue. Create one with
@@ -129,9 +173,9 @@ type descCacheSlot[T any] struct {
 // threads with distinct tids.
 type Queue[T any] struct {
 	headRef atomic.Pointer[node[T]]
-	_       [56]byte
+	_       [sepBytes - 8]byte
 	tailRef atomic.Pointer[node[T]]
-	_       [56]byte
+	_       [sepBytes - 8]byte
 	// state is the per-thread operation-descriptor array (Line 26).
 	state []paddedDesc[T]
 	// cursor drives cyclic help-one candidate selection (VariantOpt1).
@@ -139,9 +183,12 @@ type Queue[T any] struct {
 	// cache holds reusable failed-CAS descriptors (WithDescriptorCache).
 	cache []descCacheSlot[T]
 
-	nthreads    int
-	variant     Variant
-	helpChunk   int
+	nthreads  int
+	variant   Variant
+	helpChunk int
+	// patience is the fast-path attempt bound; 0 disables the fast path
+	// (every operation goes straight to the helping protocol).
+	patience    int
 	randomHelp  bool
 	clearOnExit bool
 	useCache    bool
@@ -162,6 +209,10 @@ func New[T any](nthreads int, opts ...Option) *Queue[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.variant == VariantFast && cfg.patience == 0 {
+		// WithVariant(VariantFast) without WithFastPath.
+		cfg.patience = DefaultPatience
+	}
 	if cfg.helpChunk < 1 || cfg.helpChunk >= nthreads {
 		// §3.3 requires 1 <= k < n; clamp rather than reject so a
 		// 1-thread queue still constructs.
@@ -177,6 +228,7 @@ func New[T any](nthreads int, opts ...Option) *Queue[T] {
 		nthreads:    nthreads,
 		variant:     cfg.variant,
 		helpChunk:   cfg.helpChunk,
+		patience:    cfg.patience,
 		randomHelp:  cfg.randomHelp,
 		clearOnExit: cfg.clearOnExit,
 		useCache:    cfg.descCache,
@@ -191,7 +243,9 @@ func New[T any](nthreads int, opts ...Option) *Queue[T] {
 	if cfg.descCache {
 		q.cache = make([]descCacheSlot[T], nthreads)
 	}
-	if cfg.variant == VariantOpt2 || cfg.variant == VariantOpt12 {
+	if cfg.variant == VariantOpt2 || cfg.variant == VariantOpt12 || cfg.variant == VariantFast {
+		// VariantFast's slow path is the Opt12 machinery: counter-based
+		// phases plus help-one traversal.
 		q.phases = cfg.phases
 		if q.phases == nil {
 			q.phases = phase.NewCAS()
@@ -218,6 +272,10 @@ func (q *Queue[T]) Metrics() *Metrics { return q.met }
 
 // VariantOf reports the configured algorithm variant.
 func (q *Queue[T]) VariantOf() Variant { return q.variant }
+
+// Patience reports the fast-path attempt bound (0 when the fast path is
+// disabled).
+func (q *Queue[T]) Patience() int { return q.patience }
 
 // Name implements the harness's Named interface.
 func (q *Queue[T]) Name() string { return q.variant.String() }

@@ -66,6 +66,17 @@ func flavours() []flavour {
 		}},
 		{"hp", func(n int) testQueue { return NewHP[int64](n, 0, 0) }},
 		{"hp-tiny-pool", func(n int) testQueue { return NewHP[int64](n, 4, 4) }},
+		{"fast", func(n int) testQueue { return New[int64](n, WithFastPath(0)) }},
+		// patience=1 maximizes fallbacks: any lost race drops the
+		// operation into the helping protocol, exercising the fast/slow
+		// boundary continuously.
+		{"fast-patience1", func(n int) testQueue { return New[int64](n, WithFastPath(1)) }},
+		{"fast+validate+cache+clear", func(n int) testQueue {
+			return New[int64](n, WithFastPath(4), WithValidationChecks(),
+				WithDescriptorCache(), WithClearOnExit())
+		}},
+		{"hp-fast", func(n int) testQueue { return NewHP[int64](n, 0, 0, WithFastPath(0)) }},
+		{"hp-fast-tiny-pool", func(n int) testQueue { return NewHP[int64](n, 4, 4, WithFastPath(1)) }},
 	}
 	return fs
 }

@@ -16,6 +16,15 @@ func kpClearCache(n int) queues.Queue {
 	return core.New[int64](n, core.WithClearOnExit(), core.WithDescriptorCache())
 }
 func kpHP(n int) queues.Queue { return core.NewHP[int64](n, 4, 2) }
+func kpFast1(n int) queues.Queue {
+	return core.New[int64](n, core.WithFastPath(1))
+}
+func kpFast2(n int) queues.Queue {
+	return core.New[int64](n, core.WithFastPath(2))
+}
+func kpHPFast(n int) queues.Queue {
+	return core.NewHP[int64](n, 4, 2, core.WithFastPath(1))
+}
 
 // mustExplore runs an exhaustive exploration and fails the test on any
 // violating interleaving.
@@ -114,6 +123,70 @@ func TestVariantsUnderExploration(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			rep := mustExplore(t, [][]Op{{EnqOp(7)}, {DeqOp()}}, tc.mk, 10000)
 			t.Logf("%s: %d interleavings (complete=%v)", tc.name, rep.Runs, rep.Complete)
+		})
+	}
+}
+
+// TestFastPathInterleavings walks the fast/slow boundary systematically.
+// With patience 1 or 2 the explorer reaches, in depth-first order,
+// schedules where (a) a fast append lands and a concurrent slow-path
+// helper runs help_finish_enq against the descriptor-less node, (b) a
+// fast dequeue's deqTid claim races the other thread's Stage 2 CAS on
+// the same sentinel, and (c) patience expires mid-operation and the node
+// is re-owned by the slow path. Every explored interleaving must still
+// linearize and conserve values.
+func TestFastPathInterleavings(t *testing.T) {
+	progs := map[string][][]Op{
+		"enq-enq": {{EnqOp(101)}, {EnqOp(202)}},
+		"enq-deq": {{EnqOp(7)}, {DeqOp()}},
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func(int) queues.Queue
+	}{
+		{"patience1", kpFast1},
+		{"patience2", kpFast2},
+		{"hp-patience1", kpHPFast},
+	} {
+		for pname, prog := range progs {
+			t.Run(tc.name+"/"+pname, func(t *testing.T) {
+				rep := mustExplore(t, prog, tc.mk, 20000)
+				t.Logf("%d interleavings (complete=%v), max %d decisions",
+					rep.Runs, rep.Complete, rep.MaxDecisions)
+			})
+		}
+	}
+}
+
+// TestFastPathDeqDeqInterleavings: two fast-path dequeues racing over a
+// single element — the deqTid claim (noTID → fastTID) is the only
+// arbiter, and exactly one thread may win it in every schedule.
+func TestFastPathDeqDeqInterleavings(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int) queues.Queue
+	}{
+		{"patience1", kpFast1},
+		{"patience2", kpFast2},
+		{"hp-patience1", kpHPFast},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Explore(Options{
+				Progs:    [][]Op{{DeqOp()}, {DeqOp()}},
+				NewQueue: tc.mk,
+				Initial:  []int64{55},
+				MaxRuns:  20000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("violation: %s\n  schedule: %v", f.Reason, f.Schedule)
+			}
+			if rep.Runs == 0 {
+				t.Fatal("no interleavings executed")
+			}
+			t.Logf("%d interleavings (complete=%v)", rep.Runs, rep.Complete)
 		})
 	}
 }

@@ -73,6 +73,25 @@ func OptWF12() Algorithm {
 	}}
 }
 
+// FastWF is the fast-path/slow-path engine: each operation runs up to
+// its patience of direct lock-free attempts (the Michael–Scott shape —
+// no phase, no descriptor) and enters the Opt12 helping machinery only
+// after exhausting them. Wait-free with the lock-free baseline's
+// uncontended cost.
+func FastWF() Algorithm {
+	return Algorithm{Name: "fast WF", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithFastPath(0))
+	}}
+}
+
+// FastWFHP is the fast-path engine on the hazard-pointer variant
+// (extended benchmarks only).
+func FastWFHP() Algorithm {
+	return Algorithm{Name: "fast WF+HP", New: func(n int) queues.Queue {
+		return core.NewHP[int64](n, 0, 0, core.WithFastPath(0))
+	}}
+}
+
 // BaseWFClear is the base algorithm with the §3.3 dummy-descriptor
 // enhancement (WithClearOnExit): finished operations drop their node
 // references so completed threads pin no queue memory. Its role is the
@@ -147,8 +166,9 @@ func Figure9Algorithms() []Algorithm {
 // AllAlgorithms returns every queue the extended benchmarks cover.
 func AllAlgorithms() []Algorithm {
 	return []Algorithm{
-		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), OptWF12Random(),
-		BaseWFClear(), WFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
+		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), FastWF(),
+		OptWF12Random(), BaseWFClear(), WFHP(), FastWFHP(), LFHP(),
+		Universal(), TwoLock(), Mutex(),
 	}
 }
 

@@ -39,7 +39,7 @@ func TestFairnessAcrossAlgorithms(t *testing.T) {
 	// Smoke: all main algorithms produce sane fairness numbers; we do
 	// not assert WF < LF spreads on a 1-core host (the Go scheduler's
 	// own fairness dominates), only well-formedness.
-	for _, alg := range []Algorithm{LF(), BaseWF(), OptWF12(), Mutex()} {
+	for _, alg := range []Algorithm{LF(), BaseWF(), OptWF12(), FastWF(), Mutex()} {
 		r, err := MeasureFairness(alg, Config{Workload: Pairs, Threads: 4, Iters: 300})
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name, err)

@@ -22,7 +22,7 @@ func TestAlgorithmsConstructAndWork(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"LF", "base WF", "opt WF (1+2)", "mutex"} {
+	for _, name := range []string{"LF", "base WF", "opt WF (1+2)", "fast WF", "fast WF+HP", "mutex"} {
 		a, ok := ByName(name)
 		if !ok || a.Name != name {
 			t.Fatalf("ByName(%q) = (%q,%v)", name, a.Name, ok)

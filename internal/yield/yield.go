@@ -62,6 +62,27 @@ const (
 	// of execution to end at an instrumented point.
 	KPEnqRetry
 	KPDeqRetry
+	// KPFastEnqAttempt fires at the top of each bounded lock-free
+	// enqueue attempt of the fast-path engine (WithFastPath), before the
+	// tail/next reads; KPFastDeqAttempt is the dequeue-side analogue.
+	KPFastEnqAttempt
+	KPFastDeqAttempt
+	// KPFastBeforeAppend fires between a fast-path enqueuer's tail/next
+	// snapshot and its append CAS — the window in which a concurrent
+	// (fast or slow) append invalidates the snapshot.
+	KPFastBeforeAppend
+	// KPFastAfterAppend fires after a successful fast-path append,
+	// before the enqueuer's help_finish_enq call — the window in which
+	// the node dangles with enqTid = noTID and slow-path helpers must
+	// advance tail past it without finding a descriptor.
+	KPFastAfterAppend
+	// KPFastBeforeDeqTidCAS fires just before a fast-path dequeuer's
+	// deqTid claim CAS (racing slow-path Stage 2 claims on the same
+	// sentinel); KPFastAfterDeqTidCAS fires after a successful claim,
+	// before the head fix — the window in which the sentinel is locked
+	// by fastTID and helpers must advance head without a descriptor.
+	KPFastBeforeDeqTidCAS
+	KPFastAfterDeqTidCAS
 	// MSBeforeAppend / MSBeforeHeadCAS are the analogous windows in the
 	// Michael–Scott baseline, used by its own race tests.
 	MSBeforeAppend
@@ -74,6 +95,9 @@ var pointNames = [numPoints]string{
 	"KPBeforeTailCAS", "KPBeforeEmptyCAS", "KPBeforeDeqTidCAS", "KPAfterDeqTidCAS",
 	"KPAfterStateCASDeq", "KPBeforeHeadCAS", "KPHelpScan",
 	"KPEnqRetry", "KPDeqRetry",
+	"KPFastEnqAttempt", "KPFastDeqAttempt",
+	"KPFastBeforeAppend", "KPFastAfterAppend",
+	"KPFastBeforeDeqTidCAS", "KPFastAfterDeqTidCAS",
 	"MSBeforeAppend", "MSBeforeHeadCAS",
 }
 

@@ -34,6 +34,15 @@
 // VariantBase is the paper's §3.2 reference version; the single-
 // optimization variants exist for the Figure 9 ablation.
 //
+// When raw throughput at low-to-moderate contention matters more than
+// the helping protocol's bookkeeping, select Fast (via WithFastPath):
+// each operation first runs a bounded number of direct lock-free
+// attempts — the Michael–Scott shape, no phase or descriptor — and only
+// publishes a descriptor and enters the helping machinery after
+// exhausting its patience. Every operation still completes in a bounded
+// number of steps, so wait-freedom is preserved; the fast attempts just
+// make the uncontended case as cheap as the lock-free baseline.
+//
 // # Quick start
 //
 //	q := wfq.New[string](8) // up to 8 concurrent threads
@@ -65,6 +74,10 @@ const (
 	// Opt12 combines both optimizations (the default and the paper's
 	// recommended configuration).
 	Opt12 Variant = core.VariantOpt12
+	// Fast is the fast-path/slow-path engine: bounded lock-free
+	// attempts, then the Opt12 helping machinery. Usually selected via
+	// WithFastPath rather than WithVariant.
+	Fast Variant = core.VariantFast
 )
 
 // Option configures a queue.
@@ -96,6 +109,10 @@ var (
 	// failures); read them via the core Queue's Metrics method when
 	// constructing through internal/core directly.
 	WithMetrics = core.WithMetrics
+	// WithFastPath selects the Fast variant: up to patience direct
+	// lock-free attempts per operation before falling back to the
+	// wait-free helping protocol (patience <= 0 selects the default).
+	WithFastPath = core.WithFastPath
 )
 
 // Queue is a wait-free MPMC FIFO queue of T. Create one with New.

@@ -45,6 +45,29 @@ func TestFacadeVariants(t *testing.T) {
 	}
 }
 
+func TestFacadeFastPath(t *testing.T) {
+	q := New[string](4, WithFastPath(0))
+	for round := 0; round < 2; round++ {
+		q.Enqueue(0, "a")
+		q.Enqueue(1, "b")
+		if v, ok := q.Dequeue(2); !ok || v != "a" {
+			t.Fatalf("(%q,%v)", v, ok)
+		}
+		if v, ok := q.Dequeue(3); !ok || v != "b" {
+			t.Fatalf("(%q,%v)", v, ok)
+		}
+		if _, ok := q.Dequeue(0); ok {
+			t.Fatal("empty dequeue succeeded")
+		}
+	}
+	// Explicit-patience and Variant-constant spellings also work.
+	q2 := New[int64](2, WithFastPath(3))
+	q2.Enqueue(0, int64(Fast))
+	if v, ok := q2.Dequeue(1); !ok || v != int64(Fast) {
+		t.Fatalf("(%d,%v)", v, ok)
+	}
+}
+
 func TestHandles(t *testing.T) {
 	q := New[int](2)
 	h1, err := q.Handle()
