@@ -7,11 +7,15 @@
 //	wfqbench [-workload pairs|fifty] [-algs "LF,opt WF (1+2)"]
 //	         [-threads 1,2,4,8] [-iters N] [-repeats N]
 //	         [-profile default|preempt|oversub] [-csv] [-jsondir DIR]
+//	         [-jsonsummary FILE]
 //
 // With -jsondir, the sweep additionally writes one machine-readable
 // snapshot per series into DIR, named BENCH_<series>.json (series name
 // sanitized to [A-Za-z0-9_]), so successive runs can be diffed and
-// regressions tracked in version control.
+// regressions tracked in version control. With -jsonsummary, it writes
+// one combined document holding every series of the run side by side.
+// Both stamp the producing environment (GOMAXPROCS, CPU count, Go
+// version, git commit) and, for sharded series, the shard count.
 //
 // Unlike wfqpaper (which reproduces the paper's exact figures), wfqbench
 // is the kitchen-sink tool: it also knows the extended baselines (mutex,
@@ -23,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -31,15 +37,57 @@ import (
 	"wfq/internal/report"
 )
 
+// benchEnv stamps a snapshot with the machine and build that produced
+// it, so committed results are comparable across hosts and revisions.
+type benchEnv struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	// GitSHA is the short commit hash of the working tree, or "unknown"
+	// when git is unavailable (e.g. running from an exported tarball).
+	GitSHA string `json:"git_sha"`
+}
+
+// captureEnv collects the benchEnv of this process.
+func captureEnv() benchEnv {
+	env := benchEnv{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GitSHA:     "unknown",
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		env.GitSHA = strings.TrimSpace(string(out))
+	}
+	return env
+}
+
 // benchDoc is the schema of a BENCH_<series>.json snapshot.
 type benchDoc struct {
-	Series     string       `json:"series"`
-	Workload   string       `json:"workload"`
-	Profile    string       `json:"profile"`
-	Iters      int          `json:"iters"`
-	Repeats    int          `json:"repeats"`
-	OpsPerIter int          `json:"ops_per_iter"`
-	Points     []benchPoint `json:"points"`
+	Series     string `json:"series"`
+	Workload   string `json:"workload"`
+	Profile    string `json:"profile"`
+	Iters      int    `json:"iters"`
+	Repeats    int    `json:"repeats"`
+	OpsPerIter int    `json:"ops_per_iter"`
+	// Shards is the shard count of a sharded frontend series, 0 for
+	// single-queue series.
+	Shards int          `json:"shards,omitempty"`
+	Env    benchEnv     `json:"env"`
+	Points []benchPoint `json:"points"`
+}
+
+// summaryDoc is the schema of the -jsonsummary file: one document
+// holding every series of the run side by side (e.g. "fast WF" vs
+// "sharded WF"), for committed comparison snapshots.
+type summaryDoc struct {
+	Workload   string      `json:"workload"`
+	Profile    string      `json:"profile"`
+	Iters      int         `json:"iters"`
+	Repeats    int         `json:"repeats"`
+	OpsPerIter int         `json:"ops_per_iter"`
+	Env        benchEnv    `json:"env"`
+	Series     []*benchDoc `json:"series"`
 }
 
 type benchPoint struct {
@@ -69,26 +117,25 @@ func sanitizeSeries(name string) string {
 	return b.String()
 }
 
-// writeJSON writes one snapshot per algorithm series into dir.
-func writeJSON(dir string, pts []harness.SweepPoint, w harness.Workload, profile string, iters, repeats int) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// buildDocs groups sweep points into one benchDoc per series, in first-
+// appearance order, stamped with env and per-series shard counts.
+func buildDocs(pts []harness.SweepPoint, w harness.Workload, profile string, iters, repeats int, shardsByAlg map[string]int, env benchEnv) []*benchDoc {
 	opsPerIter := 1
 	if w == harness.Pairs {
 		opsPerIter = 2 // each iteration is an enqueue + a dequeue
 	}
 	docs := map[string]*benchDoc{}
-	var order []string
+	var order []*benchDoc
 	for _, pt := range pts {
 		d, ok := docs[pt.Algorithm]
 		if !ok {
 			d = &benchDoc{
 				Series: pt.Algorithm, Workload: w.String(), Profile: profile,
 				Iters: iters, Repeats: repeats, OpsPerIter: opsPerIter,
+				Shards: shardsByAlg[pt.Algorithm], Env: env,
 			}
 			docs[pt.Algorithm] = d
-			order = append(order, pt.Algorithm)
+			order = append(order, d)
 		}
 		ops := float64(opsPerIter*iters*pt.Threads) / pt.Summary.Mean
 		d.Points = append(d.Points, benchPoint{
@@ -96,17 +143,51 @@ func writeJSON(dir string, pts []harness.SweepPoint, w harness.Workload, profile
 			SecStd: pt.Summary.Std, OpsPerSec: ops,
 		})
 	}
-	for _, name := range order {
-		buf, err := json.MarshalIndent(docs[name], "", "  ")
+	return order
+}
+
+// writeJSON writes one snapshot per algorithm series into dir.
+func writeJSON(dir string, docs []*benchDoc) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		buf, err := json.MarshalIndent(d, "", "  ")
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(dir, "BENCH_"+sanitizeSeries(name)+".json")
+		path := filepath.Join(dir, "BENCH_"+sanitizeSeries(d.Series)+".json")
 		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wfqbench: wrote %s\n", path)
 	}
+	return nil
+}
+
+// writeSummary writes the combined multi-series document to path.
+func writeSummary(path string, docs []*benchDoc, w harness.Workload, profile string, iters, repeats int, env benchEnv) error {
+	opsPerIter := 1
+	if w == harness.Pairs {
+		opsPerIter = 2
+	}
+	doc := summaryDoc{
+		Workload: w.String(), Profile: profile, Iters: iters,
+		Repeats: repeats, OpsPerIter: opsPerIter, Env: env, Series: docs,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wfqbench: wrote %s\n", path)
 	return nil
 }
 
@@ -119,6 +200,7 @@ func main() {
 	profileName := flag.String("profile", "default", "scheduler profile: default, preempt or oversub")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsondir := flag.String("jsondir", "", "also write BENCH_<series>.json snapshots into this directory")
+	jsonsummary := flag.String("jsonsummary", "", "also write one combined multi-series snapshot to this file")
 	list := flag.Bool("list", false, "list available algorithms and profiles, then exit")
 	flag.Parse()
 
@@ -191,9 +273,22 @@ func main() {
 	} else {
 		fmt.Println(tab.String())
 	}
-	if *jsondir != "" {
-		if err := writeJSON(*jsondir, pts, w, prof.Name, *iters, *repeats); err != nil {
-			fatal(err)
+	if *jsondir != "" || *jsonsummary != "" {
+		shardsByAlg := map[string]int{}
+		for _, a := range algs {
+			shardsByAlg[a.Name] = a.Shards
+		}
+		env := captureEnv()
+		docs := buildDocs(pts, w, prof.Name, *iters, *repeats, shardsByAlg, env)
+		if *jsondir != "" {
+			if err := writeJSON(*jsondir, docs); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonsummary != "" {
+			if err := writeSummary(*jsonsummary, docs, w, prof.Name, *iters, *repeats, env); err != nil {
+				fatal(err)
+			}
 		}
 	}
 }

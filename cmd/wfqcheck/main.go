@@ -2,7 +2,10 @@
 // implementation: it records genuinely concurrent histories and verifies
 // each against the sequential FIFO specification with the Wing–Gong
 // checker — the machine-checkable counterpart of the paper's §5
-// correctness argument.
+// correctness argument. Sharded frontends (queues.Ticketed) are checked
+// against their own specification: the history is partitioned by each
+// operation's dispatch ticket and every shard's subhistory must
+// linearize as a FIFO.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@ import (
 
 	"wfq/internal/harness"
 	"wfq/internal/lincheck"
+	"wfq/internal/queues"
 	"wfq/internal/xrand"
 )
 
@@ -74,6 +78,10 @@ func allNames() string {
 
 func checkOnce(alg harness.Algorithm, threads, ops int, seed uint64) lincheck.Result {
 	q := alg.New(threads)
+	// A sharded frontend promises per-shard FIFO, not a single FIFO:
+	// record each operation's dispatch shard from its ticket and check
+	// the partitioned (bag-of-FIFOs) specification instead.
+	tq, ticketed := q.(queues.Ticketed)
 	rec := lincheck.NewRecorder(threads, ops)
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
@@ -85,11 +93,26 @@ func checkOnce(alg harness.Algorithm, threads, ops int, seed uint64) lincheck.Re
 				if rng.Bool() {
 					v := int64(tid)<<32 | int64(i)
 					tok := rec.BeginEnq(tid, v)
-					q.Enqueue(tid, v)
+					if ticketed {
+						ticket := tq.EnqueueTicket(tid, v)
+						rec.SetShard(tok, int(ticket%uint64(tq.Shards())))
+					} else {
+						q.Enqueue(tid, v)
+					}
 					rec.EndEnq(tok)
 				} else {
 					tok := rec.BeginDeq(tid)
-					v, ok := q.Dequeue(tid)
+					var (
+						v  int64
+						ok bool
+					)
+					if ticketed {
+						var ticket uint64
+						v, ok, ticket = tq.DequeueTicket(tid)
+						rec.SetShard(tok, int(ticket%uint64(tq.Shards())))
+					} else {
+						v, ok = q.Dequeue(tid)
+					}
 					rec.EndDeq(tok, v, ok)
 				}
 			}
@@ -97,7 +120,13 @@ func checkOnce(alg harness.Algorithm, threads, ops int, seed uint64) lincheck.Re
 	}
 	wg.Wait()
 	var c lincheck.Checker
-	res, err := c.Check(rec.History())
+	var res lincheck.Result
+	var err error
+	if ticketed {
+		res, err = c.CheckSharded(rec.History())
+	} else {
+		res, err = c.Check(rec.History())
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfqcheck:", err)
 		os.Exit(2)

@@ -29,6 +29,7 @@ import (
 
 	"wfq/internal/harness"
 	"wfq/internal/lincheck"
+	"wfq/internal/queues"
 	"wfq/internal/xrand"
 )
 
@@ -113,13 +114,23 @@ func runEpoch(alg harness.Algorithm, threads int, epoch, watchdog time.Duration,
 		return 0, fmt.Errorf("livelock: workers did not finish within %v", watchdog)
 	}
 
-	// Drain and check conservation.
+	// Drain and check conservation. A single empty result proves a
+	// single queue empty, but a sharded frontend only proves ONE shard
+	// empty: its drain needs Shards() consecutive misses (consecutive
+	// tickets visit every residue class).
+	needMisses := 1
+	if tq, ok := q.(queues.Ticketed); ok {
+		needMisses = tq.Shards()
+	}
 	rest := int64(0)
-	for {
+	misses := 0
+	for misses < needMisses {
 		v, ok := q.Dequeue(0)
 		if !ok {
-			break
+			misses++
+			continue
 		}
+		misses = 0
 		if _, dup := consumed.LoadOrStore(v, -1); dup {
 			dups.Add(1)
 		}
@@ -142,6 +153,9 @@ func runEpoch(alg harness.Algorithm, threads int, epoch, watchdog time.Duration,
 func linWindow(alg harness.Algorithm, threads int, seed uint64) error {
 	const ops = 30
 	q := alg.New(threads)
+	// Sharded frontends are checked against the partitioned bag-of-FIFOs
+	// specification; see cmd/wfqcheck.
+	tq, ticketed := q.(queues.Ticketed)
 	rec := lincheck.NewRecorder(threads, ops)
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
@@ -153,11 +167,26 @@ func linWindow(alg harness.Algorithm, threads int, seed uint64) error {
 				if rng.Bool() {
 					v := int64(tid)<<32 | int64(i)
 					tok := rec.BeginEnq(tid, v)
-					q.Enqueue(tid, v)
+					if ticketed {
+						ticket := tq.EnqueueTicket(tid, v)
+						rec.SetShard(tok, int(ticket%uint64(tq.Shards())))
+					} else {
+						q.Enqueue(tid, v)
+					}
 					rec.EndEnq(tok)
 				} else {
 					tok := rec.BeginDeq(tid)
-					v, ok := q.Dequeue(tid)
+					var (
+						v  int64
+						ok bool
+					)
+					if ticketed {
+						var ticket uint64
+						v, ok, ticket = tq.DequeueTicket(tid)
+						rec.SetShard(tok, int(ticket%uint64(tq.Shards())))
+					} else {
+						v, ok = q.Dequeue(tid)
+					}
 					rec.EndDeq(tok, v, ok)
 				}
 			}
@@ -165,7 +194,13 @@ func linWindow(alg harness.Algorithm, threads int, seed uint64) error {
 	}
 	wg.Wait()
 	var c lincheck.Checker
-	res, err := c.Check(rec.History())
+	var res lincheck.Result
+	var err error
+	if ticketed {
+		res, err = c.CheckSharded(rec.History())
+	} else {
+		res, err = c.Check(rec.History())
+	}
 	if err != nil {
 		return err
 	}

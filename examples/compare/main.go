@@ -39,6 +39,8 @@ func main() {
 		"opt WF (1+2)":     "wait-free",
 		"fast WF":          "wait-free (lock-free fast path)",
 		"fast WF+HP":       "wait-free (fast path), no GC needed",
+		"sharded WF":       "wait-free (per-shard FIFO)",
+		"sharded WF+HP":    "wait-free (per-shard FIFO), no GC",
 		"opt WF (1+2) rnd": "wait-free (probabilistic)",
 		"base WF (clear)":  "wait-free",
 		"base WF+HP":       "wait-free, no GC needed",

@@ -62,6 +62,7 @@ type config struct {
 	variant     Variant
 	helpChunk   int
 	patience    int
+	shards      int
 	randomHelp  bool
 	clearOnExit bool
 	descCache   bool
@@ -95,6 +96,24 @@ func WithFastPath(patience int) Option {
 		}
 		c.patience = patience
 	}
+}
+
+// WithShards requests a sharded frontend of n independent queues in
+// front of the algorithm selected by the other options. The core Queue
+// is always a single shard: the option is consumed by the composing
+// constructors (package wfq, internal/sharded) via ShardsOf and ignored
+// by New, so a single option list can configure both layers. n <= 1
+// means unsharded.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// ShardsOf resolves the shard count requested by opts; 0 or 1 means
+// unsharded.
+func ShardsOf(opts ...Option) int {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.shards
 }
 
 // WithHelpChunk sets k, the number of state-array entries a VariantOpt1/

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wfq/internal/lincheck"
+	"wfq/internal/queues"
 	"wfq/internal/yield"
 )
 
@@ -34,10 +35,25 @@ type event struct {
 func runOnce(opts Options, stepTimeout time.Duration, prefix []int, choose func([]int) int) (*trace, error) {
 	n := len(opts.Progs)
 	q := opts.NewQueue(n)
-	for _, v := range opts.Initial {
-		q.Enqueue(0, v)
+	// A sharded frontend (queues.Ticketed) is checked against its
+	// bag-of-FIFOs specification: every operation — the prefill included,
+	// since CheckSharded has no initial-state parameter — is recorded
+	// with the shard its dispatch ticket named.
+	tq, ticketed := q.(queues.Ticketed)
+	var nsh uint64
+	if ticketed {
+		nsh = uint64(tq.Shards())
 	}
-	rec := lincheck.NewRecorder(n, maxProgLen(opts.Progs))
+	rec := lincheck.NewRecorder(n, maxProgLen(opts.Progs)+len(opts.Initial))
+	for _, v := range opts.Initial {
+		if ticketed {
+			tok := rec.BeginEnq(0, v)
+			rec.SetShard(tok, int(tq.EnqueueTicket(0, v)%nsh))
+			rec.EndEnq(tok)
+		} else {
+			q.Enqueue(0, v)
+		}
+	}
 
 	arrived := make(chan event, n)
 	grants := make([]chan struct{}, n)
@@ -67,11 +83,25 @@ func runOnce(opts Options, stepTimeout time.Duration, prefix []int, choose func(
 			for _, op := range opts.Progs[tid] {
 				if op.Enq {
 					tok := rec.BeginEnq(tid, op.V)
-					q.Enqueue(tid, op.V)
+					if ticketed {
+						rec.SetShard(tok, int(tq.EnqueueTicket(tid, op.V)%nsh))
+					} else {
+						q.Enqueue(tid, op.V)
+					}
 					rec.EndEnq(tok)
 				} else {
 					tok := rec.BeginDeq(tid)
-					v, ok := q.Dequeue(tid)
+					var (
+						v  int64
+						ok bool
+					)
+					if ticketed {
+						var ticket uint64
+						v, ok, ticket = tq.DequeueTicket(tid)
+						rec.SetShard(tok, int(ticket%nsh))
+					} else {
+						v, ok = q.Dequeue(tid)
+					}
 					rec.EndDeq(tok, v, ok)
 				}
 				arrived <- event{tid: tid} // pre-op boundary for the NEXT op
@@ -158,27 +188,37 @@ func runOnce(opts Options, stepTimeout time.Duration, prefix []int, choose func(
 }
 
 // check verifies the invariants of one completed interleaving.
-func check(opts Options, q interface {
-	Enqueue(int, int64)
-	Dequeue(int) (int64, bool)
-}, rec *lincheck.Recorder) string {
+func check(opts Options, q queues.Queue, rec *lincheck.Recorder) string {
 	hist := rec.History()
 
 	// Conservation: drain the queue (single-threaded now) and account
 	// for every enqueued value — initial contents included — exactly
-	// once.
+	// once. A sharded queue burns a ticket on an empty shard, so one
+	// empty result proves nothing; Shards() consecutive misses do
+	// (consecutive tickets visit every residue).
+	tq, ticketed := q.(queues.Ticketed)
+	needMisses := 1
+	if ticketed {
+		needMisses = tq.Shards()
+	}
 	remaining := map[int64]int{}
-	for {
+	for misses := 0; misses < needMisses; {
 		v, ok := q.Dequeue(0)
 		if !ok {
-			break
+			misses++
+			continue
 		}
+		misses = 0
 		remaining[v]++
 	}
 	enqueued := map[int64]int{}
 	dequeued := map[int64]int{}
-	for _, v := range opts.Initial {
-		enqueued[v]++
+	if !ticketed {
+		// The ticketed path records the prefill through the recorder,
+		// so those enqueues are already in hist.
+		for _, v := range opts.Initial {
+			enqueued[v]++
+		}
 	}
 	for _, op := range hist {
 		if op.Kind == lincheck.Enq {
@@ -203,9 +243,17 @@ func check(opts Options, q interface {
 	}
 
 	// Linearizability of the recorded history, starting from the
-	// initial contents.
+	// initial contents. A sharded queue is a bag of FIFOs, not one
+	// FIFO: check each shard's partition independently (sound and
+	// complete by linearizability locality).
 	var c lincheck.Checker
-	res, err := c.CheckFrom(hist, opts.Initial)
+	var res lincheck.Result
+	var err error
+	if ticketed {
+		res, err = c.CheckSharded(hist)
+	} else {
+		res, err = c.CheckFrom(hist, opts.Initial)
+	}
 	if err != nil {
 		return fmt.Sprintf("checker error: %v", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"wfq/internal/core"
 	"wfq/internal/msqueue"
 	"wfq/internal/queues"
+	"wfq/internal/sharded"
 	"wfq/internal/universal"
 )
 
@@ -20,6 +21,11 @@ type Algorithm struct {
 	Name string
 	// New builds a fresh queue for up to nthreads threads.
 	New func(nthreads int) queues.Queue
+	// Shards is the shard count of a sharded frontend (0 for single
+	// queues). Sharded algorithms provide per-shard FIFO rather than
+	// single-FIFO semantics; drivers that verify FIFO order consult this
+	// (and the queues.Ticketed interface) to pick the right oracle.
+	Shards int
 }
 
 // msAdapter fits the tid-less Michael–Scott queues to the common
@@ -89,6 +95,32 @@ func FastWF() Algorithm {
 func FastWFHP() Algorithm {
 	return Algorithm{Name: "fast WF+HP", New: func(n int) queues.Queue {
 		return core.NewHP[int64](n, 0, 0, core.WithFastPath(0))
+	}}
+}
+
+// shardedDefault is the shard count of the stock sharded series — the
+// issue's acceptance configuration (8 shards × 8 threads).
+const shardedDefault = 8
+
+// ShardedWF is the sharded frontend over fast-WF shards: two FAA ticket
+// counters round-robin dispatching onto 8 independent fast-path queues.
+// Per-shard FIFO only (see internal/sharded); benchmarked against the
+// single-queue series to price the helping ceiling it removes.
+func ShardedWF() Algorithm {
+	return Algorithm{Name: "sharded WF", Shards: shardedDefault, New: func(n int) queues.Queue {
+		return sharded.New[int64](n, shardedDefault, core.WithFastPath(0))
+	}}
+}
+
+// ShardedWFHP is the sharded frontend over hazard-pointer fast-WF shards
+// (extended benchmarks only) — the no-GC build of the sharded series.
+func ShardedWFHP() Algorithm {
+	return Algorithm{Name: "sharded WF+HP", Shards: shardedDefault, New: func(n int) queues.Queue {
+		shards := make([]sharded.Shard[int64], shardedDefault)
+		for i := range shards {
+			shards[i] = core.NewHP[int64](n, 0, 0, core.WithFastPath(0))
+		}
+		return sharded.NewOf[int64](n, shards)
 	}}
 }
 
@@ -167,8 +199,8 @@ func Figure9Algorithms() []Algorithm {
 func AllAlgorithms() []Algorithm {
 	return []Algorithm{
 		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), FastWF(),
-		OptWF12Random(), BaseWFClear(), WFHP(), FastWFHP(), LFHP(),
-		Universal(), TwoLock(), Mutex(),
+		ShardedWF(), OptWF12Random(), BaseWFClear(), WFHP(), FastWFHP(),
+		ShardedWFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"wfq/internal/queues"
 )
 
 func TestAlgorithmsConstructAndWork(t *testing.T) {
@@ -21,8 +23,33 @@ func TestAlgorithmsConstructAndWork(t *testing.T) {
 	}
 }
 
+// TestShardedAlgorithmsAreTicketed pins the contract drivers rely on:
+// an Algorithm with Shards > 0 builds a queues.Ticketed whose Shards()
+// agrees with the declared count, and single-queue algorithms never
+// satisfy the interface.
+func TestShardedAlgorithmsAreTicketed(t *testing.T) {
+	for _, alg := range AllAlgorithms() {
+		q := alg.New(2)
+		tq, ok := q.(queues.Ticketed)
+		if (alg.Shards > 0) != ok {
+			t.Fatalf("%s: Shards=%d but Ticketed=%v", alg.Name, alg.Shards, ok)
+		}
+		if ok && tq.Shards() != alg.Shards {
+			t.Fatalf("%s: queue reports %d shards, algorithm declares %d", alg.Name, tq.Shards(), alg.Shards)
+		}
+	}
+	sh, _ := ByName("sharded WF")
+	q := sh.New(2).(queues.Ticketed)
+	if ticket := q.EnqueueTicket(0, 5); ticket != 0 {
+		t.Fatalf("first enqueue ticket %d", ticket)
+	}
+	if v, ok, ticket := q.DequeueTicket(1); !ok || v != 5 || ticket != 0 {
+		t.Fatalf("(%d,%v,t%d)", v, ok, ticket)
+	}
+}
+
 func TestByName(t *testing.T) {
-	for _, name := range []string{"LF", "base WF", "opt WF (1+2)", "fast WF", "fast WF+HP", "mutex"} {
+	for _, name := range []string{"LF", "base WF", "opt WF (1+2)", "fast WF", "fast WF+HP", "sharded WF", "sharded WF+HP", "mutex"} {
 		a, ok := ByName(name)
 		if !ok || a.Name != name {
 			t.Fatalf("ByName(%q) = (%q,%v)", name, a.Name, ok)

@@ -48,6 +48,10 @@ type Op struct {
 	Ret int64
 	// OK is false for a Deq that observed an empty queue.
 	OK bool
+	// Shard is the shard a sharded frontend dispatched the operation to
+	// (ticket mod shard count), or -1 for an unsharded history. Set via
+	// Recorder.SetShard; consumed by Checker.CheckSharded.
+	Shard int
 	// Inv and Res are the invocation and response timestamps drawn
 	// from a single global atomic clock, so cross-thread event order
 	// is a legal real-time order.
@@ -97,15 +101,22 @@ type Token struct {
 // BeginEnq records the invocation of enq(arg) by tid.
 func (r *Recorder) BeginEnq(tid int, arg int64) Token {
 	l := &r.logs[tid]
-	l.ops = append(l.ops, Op{TID: tid, Kind: Enq, Arg: arg, Inv: r.clock.Add(1)})
+	l.ops = append(l.ops, Op{TID: tid, Kind: Enq, Arg: arg, Shard: -1, Inv: r.clock.Add(1)})
 	return Token{tid: tid, idx: len(l.ops) - 1}
 }
 
 // BeginDeq records the invocation of deq() by tid.
 func (r *Recorder) BeginDeq(tid int) Token {
 	l := &r.logs[tid]
-	l.ops = append(l.ops, Op{TID: tid, Kind: Deq, Inv: r.clock.Add(1)})
+	l.ops = append(l.ops, Op{TID: tid, Kind: Deq, Shard: -1, Inv: r.clock.Add(1)})
 	return Token{tid: tid, idx: len(l.ops) - 1}
+}
+
+// SetShard tags the in-flight operation identified by t with the shard
+// the dispatcher routed it to. Call between Begin and End, from the
+// recording thread.
+func (r *Recorder) SetShard(t Token, shard int) {
+	r.logs[t.tid].ops[t.idx].Shard = shard
 }
 
 // EndEnq records the response of the enqueue identified by t.

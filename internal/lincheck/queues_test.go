@@ -1,0 +1,88 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+
+	"wfq/internal/core"
+	"wfq/internal/xrand"
+)
+
+// recordHistory drives threads workers over q with a seeded random
+// enq/deq mix and returns the flattened history.
+func recordHistory(q interface {
+	Enqueue(tid int, v int64)
+	Dequeue(tid int) (int64, bool)
+}, threads, ops int, seed uint64) []Op {
+	rec := NewRecorder(threads, ops)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := xrand.New(seed*7919 + uint64(tid))
+			for i := 0; i < ops; i++ {
+				if rng.Bool() {
+					v := int64(tid)<<32 | int64(i)
+					tok := rec.BeginEnq(tid, v)
+					q.Enqueue(tid, v)
+					rec.EndEnq(tok)
+				} else {
+					tok := rec.BeginDeq(tid)
+					v, ok := q.Dequeue(tid)
+					rec.EndDeq(tok, v, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+// TestFastVariantHistoriesLinearizable is the differential lincheck
+// coverage for the fast-path/slow-path engine: genuinely concurrent
+// histories from VariantFast — where fast lock-free operations race the
+// wait-free helping machinery — must linearize against the FIFO spec.
+// Both the GC and the hazard-pointer builds are covered; a patience of 1
+// maximizes fast/slow mixing (almost every contended op falls back).
+func TestFastVariantHistoriesLinearizable(t *testing.T) {
+	const threads, ops, rounds = 4, 12, 12
+	builders := map[string]func() interface {
+		Enqueue(tid int, v int64)
+		Dequeue(tid int) (int64, bool)
+	}{
+		"fast": func() interface {
+			Enqueue(tid int, v int64)
+			Dequeue(tid int) (int64, bool)
+		} {
+			return core.New[int64](threads, core.WithFastPath(0))
+		},
+		"fast-patience1": func() interface {
+			Enqueue(tid int, v int64)
+			Dequeue(tid int) (int64, bool)
+		} {
+			return core.New[int64](threads, core.WithFastPath(1))
+		},
+		"fast-hp": func() interface {
+			Enqueue(tid int, v int64)
+			Dequeue(tid int) (int64, bool)
+		} {
+			return core.NewHP[int64](threads, 0, 0, core.WithFastPath(0))
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			for r := 0; r < rounds; r++ {
+				hist := recordHistory(build(), threads, ops, uint64(r)+1)
+				var c Checker
+				res, err := c.Check(hist)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res == NotLinearizable {
+					t.Fatalf("round %d: history not linearizable:\n%v", r, hist)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package lincheck
+
+import "testing"
+
+// op builds a history entry tersely for the CheckSharded unit tests.
+func op(id, tid int, kind Kind, arg, ret int64, ok bool, shard int, inv, res int64) Op {
+	return Op{ID: id, TID: tid, Kind: kind, Arg: arg, Ret: ret, OK: ok, Shard: shard, Inv: inv, Res: res}
+}
+
+// TestCheckShardedAcceptsCrossShardReordering: a history that is NOT
+// linearizable as one FIFO — the second-enqueued value is dequeued first
+// by non-overlapping dequeues — but is legal for the bag-of-FIFOs spec
+// because the two values live in different shards.
+func TestCheckShardedAcceptsCrossShardReordering(t *testing.T) {
+	hist := []Op{
+		op(0, 0, Enq, 10, 0, true, 0, 1, 2), // enq 10 -> shard 0
+		op(1, 1, Enq, 20, 0, true, 1, 3, 4), // enq 20 -> shard 1
+		op(2, 2, Deq, 0, 20, true, 1, 5, 6), // deq = 20 (shard 1) first
+		op(3, 3, Deq, 0, 10, true, 0, 7, 8), // deq = 10 (shard 0) after
+	}
+	var c Checker
+	if res, err := c.Check(hist); err != nil || res != NotLinearizable {
+		t.Fatalf("single-FIFO check = (%v,%v), want NOT linearizable", res, err)
+	}
+	if res, err := c.CheckSharded(hist); err != nil || res != Linearizable {
+		t.Fatalf("sharded check = (%v,%v), want linearizable", res, err)
+	}
+}
+
+// TestCheckShardedRejectsIntraShardReordering: FIFO inversion between two
+// non-overlapping operations on the SAME shard must still fail.
+func TestCheckShardedRejectsIntraShardReordering(t *testing.T) {
+	hist := []Op{
+		op(0, 0, Enq, 10, 0, true, 0, 1, 2),
+		op(1, 1, Enq, 30, 0, true, 0, 3, 4), // same shard, later
+		op(2, 2, Deq, 0, 30, true, 0, 5, 6), // 30 before 10: illegal
+		op(3, 3, Deq, 0, 10, true, 0, 7, 8),
+	}
+	var c Checker
+	if res, err := c.CheckSharded(hist); err != nil || res != NotLinearizable {
+		t.Fatalf("sharded check = (%v,%v), want NOT linearizable", res, err)
+	}
+}
+
+// TestCheckShardedEmptyIsPerShard: a deq-empty is legal exactly when its
+// own shard was empty, regardless of elements elsewhere.
+func TestCheckShardedEmptyIsPerShard(t *testing.T) {
+	hist := []Op{
+		op(0, 0, Enq, 10, 0, true, 0, 1, 2), // shard 0 holds 10
+		op(1, 1, Deq, 0, 0, false, 1, 3, 4), // shard 1 empty: legal
+		op(2, 2, Deq, 0, 10, true, 0, 5, 6),
+	}
+	var c Checker
+	if res, err := c.CheckSharded(hist); err != nil || res != Linearizable {
+		t.Fatalf("sharded check = (%v,%v), want linearizable", res, err)
+	}
+	// The same empty claimed against the non-empty shard 0 is illegal:
+	// shard 0's subhistory becomes enq(10); deq()=empty; deq()=10 with
+	// disjoint intervals.
+	bad := []Op{hist[0], op(1, 1, Deq, 0, 0, false, 0, 3, 4), hist[2]}
+	if res, err := c.CheckSharded(bad); err != nil || res != NotLinearizable {
+		t.Fatalf("sharded check = (%v,%v), want NOT linearizable", res, err)
+	}
+}
+
+// TestCheckShardedRequiresTags: untagged ops are a recorder bug, not a
+// queue bug.
+func TestCheckShardedRequiresTags(t *testing.T) {
+	hist := []Op{op(0, 0, Enq, 1, 0, true, -1, 1, 2)}
+	var c Checker
+	if _, err := c.CheckSharded(hist); err == nil {
+		t.Fatal("untagged history accepted")
+	}
+}
+
+// TestCheckShardedEmptyHistory is the trivial base case.
+func TestCheckShardedEmptyHistory(t *testing.T) {
+	var c Checker
+	if res, err := c.CheckSharded(nil); err != nil || res != Linearizable {
+		t.Fatalf("(%v,%v)", res, err)
+	}
+}

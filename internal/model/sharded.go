@@ -1,0 +1,93 @@
+package model
+
+// Sharded is the sequential specification of the ticket-dispatched
+// sharded queue (internal/sharded): a bag of N independent FIFO queues
+// fronted by two round-robin ticket counters. The j-th enqueue pushes to
+// shard j mod N; the k-th dequeue pops shard k mod N, and reports empty
+// — consuming its ticket — when that shard is empty.
+//
+// This is deliberately weaker than a single FIFO: ordering is guaranteed
+// only within a shard (equivalently, within a ticket residue class), and
+// a dequeue may report empty while other shards hold elements. Those are
+// exactly the semantics the concurrent sharded frontend provides, and
+// the fuzz and lincheck tests check it against this model.
+type Sharded struct {
+	shards []Queue
+	// enqT and deqT count tickets issued; only their residues mod
+	// len(shards) affect future behaviour.
+	enqT, deqT uint64
+}
+
+// NewSharded returns an empty sharded specification with nshards shards.
+func NewSharded(nshards int) *Sharded {
+	if nshards <= 0 {
+		panic("model: nshards must be positive")
+	}
+	return &Sharded{shards: make([]Queue, nshards)}
+}
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Enqueue pushes v to the shard selected by the next enqueue ticket.
+// It returns the ticket it consumed.
+func (s *Sharded) Enqueue(v int64) uint64 {
+	t := s.enqT
+	s.enqT++
+	s.shards[t%uint64(len(s.shards))].Enqueue(v)
+	return t
+}
+
+// Dequeue pops the shard selected by the next dequeue ticket. The ticket
+// is consumed even when that shard is empty (ok=false) — the burn that
+// keeps implementation and specification in lockstep.
+func (s *Sharded) Dequeue() (v int64, ok bool) {
+	t := s.deqT
+	s.deqT++
+	return s.shards[t%uint64(len(s.shards))].Dequeue()
+}
+
+// Peek returns the element the next Dequeue would return, without
+// consuming a ticket.
+func (s *Sharded) Peek() (v int64, ok bool) {
+	return s.shards[s.deqT%uint64(len(s.shards))].Peek()
+}
+
+// ShardEmpty reports whether the shard the next Dequeue will probe is
+// empty — i.e. whether the next Dequeue would report empty. Distinct
+// from Empty: other shards may still hold elements.
+func (s *Sharded) ShardEmpty() bool {
+	return s.shards[s.deqT%uint64(len(s.shards))].Empty()
+}
+
+// Len reports the total number of elements across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].Len()
+	}
+	return n
+}
+
+// Empty reports whether every shard is empty.
+func (s *Sharded) Empty() bool { return s.Len() == 0 }
+
+// Snapshot returns the per-shard contents, oldest first within each
+// shard. The outer slice is indexed by shard.
+func (s *Sharded) Snapshot() [][]int64 {
+	out := make([][]int64, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].Snapshot()
+	}
+	return out
+}
+
+// Clone returns an independent copy, as the linearizability search
+// requires when it forks specification state.
+func (s *Sharded) Clone() *Sharded {
+	c := &Sharded{shards: make([]Queue, len(s.shards)), enqT: s.enqT, deqT: s.deqT}
+	for i := range s.shards {
+		c.shards[i] = *s.shards[i].Clone()
+	}
+	return c
+}

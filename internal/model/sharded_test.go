@@ -1,0 +1,104 @@
+package model
+
+import "testing"
+
+// TestShardedRoundRobin checks the ticket discipline: values visit shards
+// j mod N in enqueue order, and sequential enq/deq round-trips are exact
+// FIFO (the residue sequences of the two counters coincide).
+func TestShardedRoundRobin(t *testing.T) {
+	s := NewSharded(3)
+	for v := int64(0); v < 10; v++ {
+		if ticket := s.Enqueue(v); ticket != uint64(v) {
+			t.Fatalf("enqueue %d consumed ticket %d", v, ticket)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d shards", len(snap))
+	}
+	for shard, vals := range snap {
+		for i, v := range vals {
+			if v%3 != int64(shard) {
+				t.Fatalf("shard %d holds %d", shard, v)
+			}
+			if i > 0 && v <= vals[i-1] {
+				t.Fatalf("shard %d not FIFO: %v", shard, vals)
+			}
+		}
+	}
+	for v := int64(0); v < 10; v++ {
+		got, ok := s.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("dequeue = (%d,%v), want %d", got, ok, v)
+		}
+	}
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("not empty after drain")
+	}
+}
+
+// TestShardedTicketBurn checks that an empty dequeue consumes its ticket:
+// after a burn, the element in another shard is reached only by a later
+// ticket of the matching residue.
+func TestShardedTicketBurn(t *testing.T) {
+	s := NewSharded(2)
+	s.Enqueue(10) // ticket 0 -> shard 0
+	if _, ok := s.Dequeue(); !ok {
+		t.Fatal("ticket 0 should pop shard 0")
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("ticket 1 probes empty shard 1")
+	}
+	s.Enqueue(20) // ticket 1 -> shard 1
+	if !s.ShardEmpty() {
+		t.Fatal("next dequeue probes shard 0, which is empty")
+	}
+	// Ticket 2 probes shard 0 (empty), ticket 3 reaches 20 in shard 1.
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("ticket 2 probes empty shard 0")
+	}
+	if v, ok := s.Dequeue(); !ok || v != 20 {
+		t.Fatalf("ticket 3 = (%d,%v), want 20", v, ok)
+	}
+}
+
+// TestShardedCloneIndependence checks Clone forks all state including the
+// ticket counters.
+func TestShardedCloneIndependence(t *testing.T) {
+	s := NewSharded(2)
+	s.Enqueue(1)
+	s.Enqueue(2)
+	c := s.Clone()
+	if v, ok := c.Dequeue(); !ok || v != 1 {
+		t.Fatalf("clone dequeue = (%d,%v)", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatal("clone mutated original shards")
+	}
+	if v, ok := s.Dequeue(); !ok || v != 1 {
+		t.Fatalf("original dequeue = (%d,%v): ticket counter shared", v, ok)
+	}
+	if v, ok := s.Peek(); !ok || v != 2 {
+		t.Fatalf("peek = (%d,%v), want 2", v, ok)
+	}
+}
+
+// TestShardedSingleShardIsFIFO checks the N=1 degenerate case against the
+// plain FIFO model on an interleaved program.
+func TestShardedSingleShardIsFIFO(t *testing.T) {
+	s := NewSharded(1)
+	var ref Queue
+	prog := []int64{1, -1, -1, 2, 3, -1, 4, -1, -1, -1}
+	for _, p := range prog {
+		if p > 0 {
+			s.Enqueue(p)
+			ref.Enqueue(p)
+		} else {
+			gv, gok := s.Dequeue()
+			wv, wok := ref.Dequeue()
+			if gv != wv || gok != wok {
+				t.Fatalf("got (%d,%v), want (%d,%v)", gv, gok, wv, wok)
+			}
+		}
+	}
+}

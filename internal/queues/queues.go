@@ -31,6 +31,23 @@ type Named interface {
 	Name() string
 }
 
+// Ticketed is implemented by sharded frontends (internal/sharded) whose
+// operations are dispatched by ticket. Drivers that need to reason about
+// dispatch — the soak tool's drain loop (Shards() consecutive empty
+// results prove emptiness once producers are quiescent) and the
+// linearizability checker (partition the history by ticket mod Shards())
+// — type-assert to this interface and fall back to plain FIFO semantics
+// when it is absent.
+type Ticketed interface {
+	Queue
+	// EnqueueTicket is Enqueue returning the dispatch ticket consumed.
+	EnqueueTicket(tid int, v int64) uint64
+	// DequeueTicket is Dequeue returning the dispatch ticket consumed.
+	DequeueTicket(tid int) (v int64, ok bool, ticket uint64)
+	// Shards reports the shard count (tickets dispatch mod Shards()).
+	Shards() int
+}
+
 // Factory constructs a fresh queue for up to nthreads concurrent threads.
 // The harness creates one queue per benchmark run through a Factory so
 // runs never share warmed-up state.

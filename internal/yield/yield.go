@@ -87,6 +87,17 @@ const (
 	// Michael–Scott baseline, used by its own race tests.
 	MSBeforeAppend
 	MSBeforeHeadCAS
+	// SHEnqTicket fires in the sharded frontend (internal/sharded)
+	// between an enqueuer's ticket fetch-and-add and its shard append —
+	// the handoff window in which the ticket is spoken for but no
+	// element is visible, so a dequeuer dispatched to the same shard
+	// legitimately observes it empty. owner is the shard index.
+	SHEnqTicket
+	// SHDeqTicket fires between a dequeuer's ticket fetch-and-add and
+	// its shard pop — the window in which later tickets of the same
+	// residue may overtake it inside the shard. owner is the shard
+	// index.
+	SHDeqTicket
 	numPoints int = iota
 )
 
@@ -99,6 +110,7 @@ var pointNames = [numPoints]string{
 	"KPFastBeforeAppend", "KPFastAfterAppend",
 	"KPFastBeforeDeqTidCAS", "KPFastAfterDeqTidCAS",
 	"MSBeforeAppend", "MSBeforeHeadCAS",
+	"SHEnqTicket", "SHDeqTicket",
 }
 
 // String returns the symbolic name of the point.

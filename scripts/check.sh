@@ -6,4 +6,8 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/core/ ./internal/hazard/
+go test -race ./internal/core/ ./internal/hazard/ ./internal/sharded/
+# Fuzz smoke: a short randomized differential of the sharded frontend
+# against its sequential specification (regression corpus runs in
+# `go test` above; this probes fresh inputs).
+go test -run='^$' -fuzz='^FuzzSharded$' -fuzztime=10s ./internal/sharded/

@@ -56,6 +56,7 @@ package wfq
 
 import (
 	"wfq/internal/core"
+	"wfq/internal/sharded"
 	"wfq/internal/tid"
 )
 
@@ -113,11 +114,34 @@ var (
 	// lock-free attempts per operation before falling back to the
 	// wait-free helping protocol (patience <= 0 selects the default).
 	WithFastPath = core.WithFastPath
+	// WithShards(n) puts a wait-free ticket dispatcher in front of n
+	// independent shards, each running the configured variant. Ordering
+	// weakens from one FIFO to per-shard FIFO (ticket residue classes),
+	// and Dequeue's empty result becomes per-ticket: n consecutive empty
+	// results with no active producer prove the queue empty. In exchange
+	// the hot head/tail words and the helping state-array are split n
+	// ways. See the Sharding section of README.md and ALGORITHM.md.
+	WithShards = core.WithShards
 )
 
+// backend is the queue engine behind the public API: either a single
+// core queue or the sharded frontend.
+type backend[T any] interface {
+	Enqueue(tid int, v T)
+	Dequeue(tid int) (v T, ok bool)
+	Len() int
+	NumThreads() int
+}
+
 // Queue is a wait-free MPMC FIFO queue of T. Create one with New.
+//
+// With WithShards(n), n > 1, the queue runs n independent shards behind
+// a wait-free ticket dispatcher; ordering is then FIFO per shard rather
+// than globally, and Dequeue's empty result is per-ticket — see
+// WithShards.
 type Queue[T any] struct {
-	q   *core.Queue[T]
+	q   backend[T]
+	sh  *sharded.Queue[T] // non-nil iff the backend is sharded
 	reg *tid.Registry
 }
 
@@ -127,14 +151,26 @@ type Queue[T any] struct {
 // Handle namespace.
 func New[T any](maxThreads int, opts ...Option) *Queue[T] {
 	all := append([]Option{WithVariant(Opt12)}, opts...)
-	return &Queue[T]{
-		q:   core.New[T](maxThreads, all...),
-		reg: tid.NewRegistry(maxThreads),
+	q := &Queue[T]{reg: tid.NewRegistry(maxThreads)}
+	if n := core.ShardsOf(all...); n > 1 {
+		q.sh = sharded.New[T](maxThreads, n, all...)
+		q.q = q.sh
+	} else {
+		q.q = core.New[T](maxThreads, all...)
 	}
+	return q
 }
 
 // MaxThreads reports the queue's concurrency bound.
 func (q *Queue[T]) MaxThreads() int { return q.q.NumThreads() }
+
+// Shards reports the shard count (1 when unsharded).
+func (q *Queue[T]) Shards() int {
+	if q.sh != nil {
+		return q.sh.Shards()
+	}
+	return 1
+}
 
 // Enqueue inserts v at the tail on behalf of thread tid. tid must be in
 // [0, MaxThreads()) and must not be used concurrently by another
@@ -143,8 +179,54 @@ func (q *Queue[T]) Enqueue(tid int, v T) { q.q.Enqueue(tid, v) }
 
 // Dequeue removes and returns the oldest element on behalf of thread tid.
 // ok is false when the queue was empty at the operation's linearization
-// point.
+// point. On a sharded queue "empty" refers to the shard the operation's
+// ticket dispatched it to; see WithShards.
 func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) { return q.q.Dequeue(tid) }
+
+// EnqueueBatch inserts vs in order on behalf of thread tid. On a sharded
+// queue the whole batch costs one dispatch ticket fetch-and-add and the
+// elements fan out round-robin over consecutive tickets; unsharded it is
+// a plain loop over Enqueue.
+func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
+	if q.sh != nil {
+		q.sh.EnqueueBatch(tid, vs)
+		return
+	}
+	for _, v := range vs {
+		q.q.Enqueue(tid, v)
+	}
+}
+
+// DequeueBatch removes up to len(dst) elements into dst, returning how
+// many were obtained. On a sharded queue the batch claims len(dst)
+// consecutive dispatch tickets with one fetch-and-add — probing len(dst)
+// consecutive shards, so a batch of Shards() slots samples every shard
+// once; unsharded it is a plain loop that stops at the first empty
+// result.
+func (q *Queue[T]) DequeueBatch(tid int, dst []T) int {
+	if q.sh != nil {
+		return q.sh.DequeueBatch(tid, dst)
+	}
+	n := 0
+	for n < len(dst) {
+		v, ok := q.q.Dequeue(tid)
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n
+}
+
+// ShardDepths reports a racy snapshot of each shard's element count; a
+// single-element slice when unsharded. Monitoring and tests only.
+func (q *Queue[T]) ShardDepths() []int {
+	if q.sh != nil {
+		return q.sh.ShardDepths()
+	}
+	return []int{q.q.Len()}
+}
 
 // Len reports a racy snapshot of the number of queued elements. O(n);
 // intended for monitoring and tests, not synchronization.
@@ -158,14 +240,14 @@ func (q *Queue[T]) Handle() (*Handle[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Handle[T]{q: q.q, h: h}, nil
+	return &Handle[T]{q: q, h: h}, nil
 }
 
 // Handle is a leased per-goroutine identity on a Queue. A Handle must not
 // be shared between goroutines that operate concurrently; Release it when
 // done so the id returns to the namespace.
 type Handle[T any] struct {
-	q *core.Queue[T]
+	q *Queue[T]
 	h tid.Handle
 }
 
@@ -178,6 +260,13 @@ func (h *Handle[T]) Enqueue(v T) { h.q.Enqueue(h.h.TID(), v) }
 // Dequeue removes and returns the oldest element; ok is false when the
 // queue was empty.
 func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.q.Dequeue(h.h.TID()) }
+
+// EnqueueBatch inserts vs in order; see Queue.EnqueueBatch.
+func (h *Handle[T]) EnqueueBatch(vs []T) { h.q.EnqueueBatch(h.h.TID(), vs) }
+
+// DequeueBatch removes up to len(dst) elements into dst; see
+// Queue.DequeueBatch.
+func (h *Handle[T]) DequeueBatch(dst []T) int { return h.q.DequeueBatch(h.h.TID(), dst) }
 
 // Release returns the leased id. The Handle must not be used afterwards.
 func (h *Handle[T]) Release() { h.h.Release() }

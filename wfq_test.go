@@ -68,6 +68,71 @@ func TestFacadeFastPath(t *testing.T) {
 	}
 }
 
+func TestFacadeSharded(t *testing.T) {
+	q := New[string](4, WithShards(4), WithFastPath(0))
+	if q.Shards() != 4 {
+		t.Fatalf("Shards %d", q.Shards())
+	}
+	if un := New[string](4); un.Shards() != 1 {
+		t.Fatalf("unsharded Shards %d", un.Shards())
+	}
+	// Sequential use with matched ticket streams round-trips FIFO.
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		q.Enqueue(0, s)
+	}
+	depths := q.ShardDepths()
+	if len(depths) != 4 || depths[0] != 2 || depths[3] != 1 {
+		t.Fatalf("depths %v", depths)
+	}
+	for _, want := range []string{"a", "b", "c", "d", "e"} {
+		if v, ok := q.Dequeue(1); !ok || v != want {
+			t.Fatalf("(%q,%v), want %q", v, ok, want)
+		}
+	}
+	// The empty result is per-ticket: Shards() consecutive empties prove
+	// the queue empty.
+	for i := 0; i < q.Shards(); i++ {
+		if _, ok := q.Dequeue(2); ok {
+			t.Fatal("phantom element")
+		}
+	}
+}
+
+func TestFacadeBatchOps(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		q := New[int](2, WithShards(shards))
+		q.EnqueueBatch(0, []int{1, 2, 3, 4, 5})
+		if q.Len() != 5 {
+			t.Fatalf("shards=%d: Len %d", shards, q.Len())
+		}
+		dst := make([]int, 6)
+		n := q.DequeueBatch(1, dst)
+		if n != 5 {
+			t.Fatalf("shards=%d: batch got %d", shards, n)
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != i+1 {
+				t.Fatalf("shards=%d: dst=%v", shards, dst[:n])
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("shards=%d: residual %d", shards, q.Len())
+		}
+	}
+	// Batches through handles.
+	q := New[int](2, WithShards(2), WithFastPath(0))
+	h, err := q.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	h.EnqueueBatch([]int{10, 20, 30})
+	dst := make([]int, 3)
+	if n := h.DequeueBatch(dst); n != 3 || dst[0] != 10 || dst[2] != 30 {
+		t.Fatalf("(n=%d, %v)", n, dst)
+	}
+}
+
 func TestHandles(t *testing.T) {
 	q := New[int](2)
 	h1, err := q.Handle()
