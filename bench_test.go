@@ -40,12 +40,18 @@ func runWorkload(b *testing.B, alg harness.Algorithm, w harness.Workload, thread
 		opsPerRun *= 2
 	}
 	b.ResetTimer()
+	var allocs float64
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Run(alg, cfg); err != nil {
+		res, err := harness.RunMeasured(alg, cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		allocs += res.AllocsPerOp
 	}
 	b.ReportMetric(float64(opsPerRun*b.N)/b.Elapsed().Seconds(), "queueops/s")
+	// Heap allocations per QUEUE op (go test's own allocs/op counts per
+	// harness run) — the number the arena and descriptor cache shrink.
+	b.ReportMetric(allocs/float64(b.N), "qallocs/op")
 }
 
 // BenchmarkFig7Pairs is Figure 7: enqueue-dequeue pairs completion time,
@@ -122,10 +128,11 @@ func BenchmarkFig10Space(b *testing.B) {
 // --- Fast-path engine benchmarks --------------------------------------
 
 // fastPathSeries are the series the fast-path/slow-path engine is judged
-// against: the lock-free baseline it borrows its fast attempts from, and
-// the paper's best wait-free performer it falls back to.
+// against: the lock-free baseline it borrows its fast attempts from, the
+// paper's best wait-free performer it falls back to, and the arena-backed
+// build (run with -benchmem: the arena's reason to exist is allocs/op).
 func fastPathSeries() []harness.Algorithm {
-	return []harness.Algorithm{harness.LF(), harness.OptWF12(), harness.FastWF()}
+	return []harness.Algorithm{harness.LF(), harness.OptWF12(), harness.FastWF(), harness.FastWFArena()}
 }
 
 // runOpsPhase times one single-kind operation phase per b.N iteration:
@@ -197,6 +204,65 @@ func BenchmarkMixed(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/threads=%d", alg.Name, n), func(b *testing.B) {
 				runWorkload(b, alg, harness.Pairs, n, harness.Profile{})
 			})
+		}
+	}
+}
+
+// runBatchWorkload is runWorkload for the batch workloads: Iters shrinks
+// by the batch width so every (k, algorithm) cell moves the same number
+// of ELEMENTS, and throughput is reported per element.
+func runBatchWorkload(b *testing.B, alg harness.Algorithm, w harness.Workload, threads, k int) {
+	b.Helper()
+	iters := benchIters / k
+	if iters == 0 {
+		iters = 1
+	}
+	cfg := harness.Config{Workload: w, Threads: threads, Iters: iters, Seed: 1, BatchK: k}
+	opsPerRun := cfg.OpsPerIter() * iters * threads
+	b.ResetTimer()
+	var allocs float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunMeasured(alg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allocs += res.AllocsPerOp
+	}
+	b.ReportMetric(float64(opsPerRun*b.N)/b.Elapsed().Seconds(), "queueops/s")
+	b.ReportMetric(allocs/float64(b.N), "qallocs/op")
+}
+
+// BenchmarkEnqueueBatch prices the chained-node append: k elements per
+// EnqueueBatch (k=1 is the all-singles baseline at identical element
+// count) across the fast-path engine with and without the arena, and the
+// sharded frontend's per-shard chained fan-out. The per-element speedup
+// from k=1 to k=8 is the issue's acceptance number.
+func BenchmarkEnqueueBatch(b *testing.B) {
+	algs := []harness.Algorithm{harness.FastWF(), harness.FastWFArena(), harness.ShardedWF()}
+	for _, alg := range algs {
+		for _, k := range []int{1, 8, 64} {
+			for _, n := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/k=%d/threads=%d", alg.Name, k, n), func(b *testing.B) {
+					runBatchWorkload(b, alg, harness.BatchEnq, n, k)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkBatchPairs is the mixed batch workload: one EnqueueBatch and
+// one DequeueBatch of width k per iteration. The dequeue side claims
+// per element by design, so the expected gain is roughly half the
+// enqueue-only one.
+func BenchmarkBatchPairs(b *testing.B) {
+	algs := []harness.Algorithm{harness.FastWF(), harness.FastWFArena()}
+	for _, alg := range algs {
+		for _, k := range []int{1, 8} {
+			for _, n := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/k=%d/threads=%d", alg.Name, k, n), func(b *testing.B) {
+					runBatchWorkload(b, alg, harness.BatchPairs, n, k)
+				})
+			}
 		}
 	}
 }

@@ -4,10 +4,19 @@
 //
 // Usage:
 //
-//	wfqbench [-workload pairs|fifty] [-algs "LF,opt WF (1+2)"]
+//	wfqbench [-workload pairs|fifty|batchpairs|batchenq]
+//	         [-algs "LF,opt WF (1+2)"] [-batch 1,8]
 //	         [-threads 1,2,4,8] [-iters N] [-repeats N]
 //	         [-profile default|preempt|oversub] [-csv] [-jsondir DIR]
 //	         [-jsonsummary FILE]
+//
+// The batch workloads move elements through EnqueueBatch/DequeueBatch in
+// groups of -batch elements; -batch takes a comma list and runs the
+// sweep once per width, labelling the series "alg [k=N]", so one
+// invocation produces the k=1-vs-k=8 comparison the batch snapshots
+// track. Every series also records allocs/op and bytes/op (MemStats
+// deltas over the measured window) and, for metered algorithms, the
+// descriptor-cache and fast-path counters.
 //
 // With -jsondir, the sweep additionally writes one machine-readable
 // snapshot per series into DIR, named BENCH_<series>.json (series name
@@ -91,10 +100,28 @@ type summaryDoc struct {
 }
 
 type benchPoint struct {
-	Threads   int     `json:"threads"`
-	SecMean   float64 `json:"sec_mean"`
-	SecStd    float64 `json:"sec_std"`
+	Threads int     `json:"threads"`
+	SecMean float64 `json:"sec_mean"`
+	SecStd  float64 `json:"sec_std"`
+	// SecMin and SecMedian are robust alternatives to the mean: GC pauses
+	// and scheduler noise only ever slow a repeat down, so the minimum is
+	// the cleanest estimate of the algorithm's cost on a shared host.
+	SecMin    float64 `json:"sec_min"`
+	SecMedian float64 `json:"sec_median"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp and BytesPerOp are heap-allocation rates over the
+	// measured window (mean across repeats) — the arena/descriptor-cache
+	// regression numbers.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// The event counters below are totals of one representative run and
+	// appear only for algorithms built with metrics (GC core variants).
+	CacheHits     int64 `json:"cache_hits,omitempty"`
+	CacheMisses   int64 `json:"cache_misses,omitempty"`
+	FastHits      int64 `json:"fast_hits,omitempty"`
+	FastFallbacks int64 `json:"fast_fallbacks,omitempty"`
+	BatchEnqs     int64 `json:"batch_enqs,omitempty"`
+	BatchEnqElems int64 `json:"batch_enq_elems,omitempty"`
 }
 
 // sanitizeSeries maps a series label to a filename fragment: letters and
@@ -120,10 +147,6 @@ func sanitizeSeries(name string) string {
 // buildDocs groups sweep points into one benchDoc per series, in first-
 // appearance order, stamped with env and per-series shard counts.
 func buildDocs(pts []harness.SweepPoint, w harness.Workload, profile string, iters, repeats int, shardsByAlg map[string]int, env benchEnv) []*benchDoc {
-	opsPerIter := 1
-	if w == harness.Pairs {
-		opsPerIter = 2 // each iteration is an enqueue + a dequeue
-	}
 	docs := map[string]*benchDoc{}
 	var order []*benchDoc
 	for _, pt := range pts {
@@ -131,16 +154,21 @@ func buildDocs(pts []harness.SweepPoint, w harness.Workload, profile string, ite
 		if !ok {
 			d = &benchDoc{
 				Series: pt.Algorithm, Workload: w.String(), Profile: profile,
-				Iters: iters, Repeats: repeats, OpsPerIter: opsPerIter,
+				Iters: pt.Iters, Repeats: repeats, OpsPerIter: pt.OpsPerIter,
 				Shards: shardsByAlg[pt.Algorithm], Env: env,
 			}
 			docs[pt.Algorithm] = d
 			order = append(order, d)
 		}
-		ops := float64(opsPerIter*iters*pt.Threads) / pt.Summary.Mean
+		ops := float64(pt.OpsPerIter*pt.Iters*pt.Threads) / pt.Summary.Mean
 		d.Points = append(d.Points, benchPoint{
 			Threads: pt.Threads, SecMean: pt.Summary.Mean,
-			SecStd: pt.Summary.Std, OpsPerSec: ops,
+			SecStd: pt.Summary.Std, SecMin: pt.Summary.Min,
+			SecMedian: pt.Summary.Median, OpsPerSec: ops,
+			AllocsPerOp: pt.AllocsPerOp, BytesPerOp: pt.BytesPerOp,
+			CacheHits: pt.Metrics.DescCacheHits, CacheMisses: pt.Metrics.DescCacheMisses,
+			FastHits: pt.Metrics.FastHits(), FastFallbacks: pt.Metrics.FastFallbacks,
+			BatchEnqs: pt.Metrics.BatchEnqs, BatchEnqElems: pt.Metrics.BatchEnqElems,
 		})
 	}
 	return order
@@ -167,9 +195,12 @@ func writeJSON(dir string, docs []*benchDoc) error {
 
 // writeSummary writes the combined multi-series document to path.
 func writeSummary(path string, docs []*benchDoc, w harness.Workload, profile string, iters, repeats int, env benchEnv) error {
+	// OpsPerIter can differ per series when -batch lists several widths;
+	// the top-level field then reports the first series' value and the
+	// per-series docs are authoritative.
 	opsPerIter := 1
-	if w == harness.Pairs {
-		opsPerIter = 2
+	if len(docs) > 0 {
+		opsPerIter = docs[0].OpsPerIter
 	}
 	doc := summaryDoc{
 		Workload: w.String(), Profile: profile, Iters: iters,
@@ -192,8 +223,9 @@ func writeSummary(path string, docs []*benchDoc, w harness.Workload, profile str
 }
 
 func main() {
-	workload := flag.String("workload", "pairs", "workload: pairs or fifty")
+	workload := flag.String("workload", "pairs", "workload: pairs, fifty, batchpairs or batchenq")
 	algsFlag := flag.String("algs", "LF,base WF,opt WF (1+2)", "comma-separated algorithm names")
+	batchFlag := flag.String("batch", "", "comma-separated batch widths for the batch workloads (default 8); several widths run the sweep once per width, labelled [k=N]")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	iters := flag.Int("iters", 50000, "per-thread iterations")
 	repeats := flag.Int("repeats", 3, "averaged runs per data point")
@@ -222,8 +254,31 @@ func main() {
 		w = harness.Pairs
 	case "fifty":
 		w = harness.Fifty
+	case "batchpairs", "batch-pairs":
+		w = harness.BatchPairs
+	case "batchenq", "batch-enq":
+		w = harness.BatchEnq
 	default:
 		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	isBatch := w == harness.BatchPairs || w == harness.BatchEnq
+
+	// Batch widths: one sweep per width. The zero width stands for "the
+	// workload's default" and adds no [k=N] label, keeping non-batch
+	// invocations byte-identical to before.
+	batchKs := []int{0}
+	if *batchFlag != "" {
+		if !isBatch {
+			fatal(fmt.Errorf("-batch applies only to the batch workloads"))
+		}
+		batchKs = batchKs[:0]
+		for _, s := range strings.Split(*batchFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad batch width %q", s))
+			}
+			batchKs = append(batchKs, n)
+		}
 	}
 
 	var algs []harness.Algorithm
@@ -250,20 +305,45 @@ func main() {
 		fatal(fmt.Errorf("unknown profile %q (use -list)", *profileName))
 	}
 
-	names := make([]string, len(algs))
-	for i, a := range algs {
-		names[i] = a.Name
+	// One sweep per batch width; series gain a " [k=N]" suffix whenever
+	// several widths (or an explicit single width) are requested.
+	var pts []harness.SweepPoint
+	var names []string
+	for _, k := range batchKs {
+		suffix := ""
+		if k > 0 {
+			suffix = fmt.Sprintf(" [k=%d]", k)
+		}
+		// On the batch workloads -iters counts ELEMENTS per thread, so
+		// each width's cell moves the same element volume (and carries
+		// the same GC live-set) — iterations scale down by the width.
+		cfgIters := *iters
+		if isBatch {
+			kk := k
+			if kk == 0 {
+				kk = 8
+			}
+			if cfgIters = *iters / kk; cfgIters == 0 {
+				cfgIters = 1
+			}
+		}
+		run, err := harness.Sweep(algs, threads, harness.Config{
+			Workload: w, Iters: cfgIters, Seed: 1, Profile: prof, BatchK: k,
+		}, *repeats)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range run {
+			run[i].Algorithm += suffix
+		}
+		for _, a := range algs {
+			names = append(names, a.Name+suffix)
+		}
+		pts = append(pts, run...)
 	}
 	title := fmt.Sprintf("%s, %s profile, %d iters/thread, avg of %d",
 		w, prof.Name, *iters, *repeats)
 	tab := report.NewTable(title, "threads", "sec", names)
-
-	pts, err := harness.Sweep(algs, threads, harness.Config{
-		Workload: w, Iters: *iters, Seed: 1, Profile: prof,
-	}, *repeats)
-	if err != nil {
-		fatal(err)
-	}
 	for _, pt := range pts {
 		tab.Set(strconv.Itoa(pt.Threads), pt.Algorithm,
 			report.Cell{Value: pt.Summary.Mean, Std: pt.Summary.Std})
@@ -275,8 +355,14 @@ func main() {
 	}
 	if *jsondir != "" || *jsonsummary != "" {
 		shardsByAlg := map[string]int{}
-		for _, a := range algs {
-			shardsByAlg[a.Name] = a.Shards
+		for _, k := range batchKs {
+			suffix := ""
+			if k > 0 {
+				suffix = fmt.Sprintf(" [k=%d]", k)
+			}
+			for _, a := range algs {
+				shardsByAlg[a.Name+suffix] = a.Shards
+			}
 		}
 		env := captureEnv()
 		docs := buildDocs(pts, w, prof.Name, *iters, *repeats, shardsByAlg, env)

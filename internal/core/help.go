@@ -13,7 +13,7 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 		// Fast path: the node is thread-local until the append CAS, so
 		// it carries enqTid = noTID — there is no descriptor for a
 		// helper to complete.
-		n = newNode(v, noTID)
+		n = q.allocNode(tid, v, noTID)
 		if q.fastEnqueue(tid, n) {
 			q.met.incFastEnq(tid)
 			return
@@ -24,12 +24,12 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 		// helpers locate the descriptor through enqTid (Line 89).
 		n.enqTid = int32(tid)
 	} else {
-		n = newNode(v, int32(tid))
+		n = q.allocNode(tid, v, int32(tid))
 	}
-	ph := q.nextPhase()                                                        // Line 62
+	ph := q.nextPhase()                                                                // Line 62
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: n}) // Line 63
-	q.help(tid, ph, true)                                                      // Line 64
-	q.helpFinishEnq(tid)                                                       // Line 65
+	q.help(tid, ph, true)                                                              // Line 64
+	q.helpFinishEnq(tid)                                                               // Line 65
 	if q.clearOnExit {
 		q.clearDesc(tid, ph, true)
 	}
@@ -49,12 +49,12 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 		}
 		q.met.incFastExpired(tid)
 	}
-	ph := q.nextPhase()                                                    // Line 99
+	ph := q.nextPhase()                                                        // Line 99
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false}) // Line 100
-	q.help(tid, ph, false)                                                 // Line 101
-	q.helpFinishDeq(tid)                                                   // Line 102
-	n := q.state[tid].p.Load().node // Line 103
-	if n == nil {                   // Lines 104–106: linearized on an empty queue
+	q.help(tid, ph, false)                                                     // Line 101
+	q.helpFinishDeq(tid)                                                       // Line 102
+	n := q.state[tid].p.Load().node                                            // Line 103
+	if n == nil {                                                              // Lines 104–106: linearized on an empty queue
 		if q.clearOnExit {
 			q.clearDesc(tid, ph, false)
 		}
@@ -226,8 +226,8 @@ func (q *Queue[T]) helpEnq(caller, tid int, ph int64) {
 		if !q.isStillPending(tid, ph) { // Line 68
 			return
 		}
-		last := q.tailRef.Load()   // Line 69
-		next := last.next.Load()   // Line 70
+		last := q.tailRef.Load()      // Line 69
+		next := last.next.Load()      // Line 70
 		if last != q.tailRef.Load() { // Line 71
 			continue
 		}
@@ -286,7 +286,7 @@ func (q *Queue[T]) helpFinishEnq(caller int) {
 		// foreign sentinel if callers misuse multiple queues.
 		return
 	}
-	curDesc := q.state[tid].p.Load()                            // Line 90
+	curDesc := q.state[tid].p.Load()                      // Line 90
 	if last == q.tailRef.Load() && curDesc.node == next { // Line 91
 		// §3.3 validation enhancement: skip the completion CAS when
 		// another helper already flipped the pending flag; the tail
@@ -296,8 +296,10 @@ func (q *Queue[T]) helpFinishEnq(caller int) {
 			// Reading phase from curDesc (not a fresh load) is
 			// equivalent to the paper's code: if the entry changed
 			// since Line 90, the CAS below fails and the
-			// descriptor is discarded.
-			newDesc := q.newDesc(caller, curDesc.phase, false, true, next)
+			// descriptor is discarded. chainTail is preserved so a
+			// later helpFinishEnq can still swing tail past the
+			// whole chain if this helper stalls before the tail CAS.
+			newDesc := q.newDesc(caller, curDesc.phase, false, true, next, curDesc.chainTail)
 			if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) { // Line 93
 				q.recycleDesc(caller, newDesc)
 				q.met.incDescFail(caller)
@@ -305,7 +307,19 @@ func (q *Queue[T]) helpFinishEnq(caller int) {
 		}
 		yield.At(yield.KPAfterStateCASEnq, caller, tid)
 		yield.At(yield.KPBeforeTailCAS, caller, tid)
-		if q.tailRef.CompareAndSwap(last, next) { // Line 94
+		// Line 94, generalized for batch enqueues: when the descriptor
+		// carries a chain, tail must jump from the pre-append node to
+		// the chain's last node in one CAS — an intermediate target
+		// would strand tail mid-chain where no helper could match
+		// curDesc.node against the dangling interior node. Pointer
+		// equality is ABA-free on this (GC) variant: nodes are never
+		// recycled, so curDesc.node == next identifies the chain whose
+		// tail curDesc.chainTail is.
+		target := next
+		if curDesc.chainTail != nil {
+			target = curDesc.chainTail
+		}
+		if q.tailRef.CompareAndSwap(last, target) {
 			q.met.incTailFix(caller)
 		}
 	}
@@ -319,20 +333,20 @@ func (q *Queue[T]) helpDeq(caller, tid int, ph int64) {
 		if !q.isStillPending(tid, ph) { // Line 110
 			return
 		}
-		first := q.headRef.Load()  // Line 111
-		last := q.tailRef.Load()   // Line 112 (linearization point of deq-empty)
-		next := first.next.Load()  // Line 113
+		first := q.headRef.Load()      // Line 111
+		last := q.tailRef.Load()       // Line 112 (linearization point of deq-empty)
+		next := first.next.Load()      // Line 113
 		if first != q.headRef.Load() { // Line 114
 			continue
 		}
 		if first == last { // Line 115: queue might be empty
 			if next == nil { // Line 116: queue is empty
-				curDesc := q.state[tid].p.Load() // Line 117
+				curDesc := q.state[tid].p.Load()                           // Line 117
 				if last == q.tailRef.Load() && stillPending(curDesc, ph) { // Line 118
 					// Lines 119–120: record the empty result
 					// in the owner's descriptor.
 					yield.At(yield.KPBeforeEmptyCAS, caller, tid)
-					newDesc := q.newDesc(caller, curDesc.phase, false, false, nil)
+					newDesc := q.newDesc(caller, curDesc.phase, false, false, nil, nil)
 					if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) {
 						q.recycleDesc(caller, newDesc)
 						q.met.incDescFail(caller)
@@ -353,7 +367,7 @@ func (q *Queue[T]) helpDeq(caller, tid int, ph int64) {
 				// helper seeing an empty queue and a helper
 				// seeing a non-empty queue cannot race on the
 				// owner's result.
-				newDesc := q.newDesc(caller, curDesc.phase, true, false, first)
+				newDesc := q.newDesc(caller, curDesc.phase, true, false, first, nil)
 				if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) { // Line 131
 					q.recycleDesc(caller, newDesc)
 					q.met.incDescFail(caller)
@@ -376,10 +390,10 @@ func (q *Queue[T]) helpDeq(caller, tid int, ph int64) {
 // (step 2) and advances head (step 3) — the paper's help_finish_deq(),
 // Lines 141–153.
 func (q *Queue[T]) helpFinishDeq(caller int) {
-	first := q.headRef.Load()        // Line 142
-	next := first.next.Load()        // Line 143
+	first := q.headRef.Load()       // Line 142
+	next := first.next.Load()       // Line 143
 	tid := int(first.deqTid.Load()) // Line 144
-	if tid == noTIDInt {             // Line 145
+	if tid == noTIDInt {            // Line 145
 		return
 	}
 	if tid == fastTIDInt {
@@ -396,7 +410,7 @@ func (q *Queue[T]) helpFinishDeq(caller int) {
 	if tid < 0 || tid >= q.nthreads {
 		return
 	}
-	curDesc := q.state[tid].p.Load()               // Line 146
+	curDesc := q.state[tid].p.Load()              // Line 146
 	if first == q.headRef.Load() && next != nil { // Line 147
 		// §3.3 validation enhancement: skip the Line 149 CAS when
 		// the descriptor is already completed.
@@ -404,7 +418,7 @@ func (q *Queue[T]) helpFinishDeq(caller int) {
 			// Lines 148–149: complete the owner's descriptor,
 			// keeping its node reference (the old sentinel,
 			// through which the dequeuer reads its return value).
-			newDesc := q.newDesc(caller, curDesc.phase, false, false, curDesc.node)
+			newDesc := q.newDesc(caller, curDesc.phase, false, false, curDesc.node, nil)
 			if !q.state[tid].p.CompareAndSwap(curDesc, newDesc) {
 				q.recycleDesc(caller, newDesc)
 				q.met.incDescFail(caller)

@@ -44,6 +44,9 @@ type HPQueue[T any] struct {
 
 	dom   *hazard.Domain[node[T]]
 	nodes *pool.Pool[node[T]]
+	// arena is non-nil when WithArena is set; it backs the pool's miss
+	// path (recycling still goes through the per-thread free lists).
+	arena *pool.Arena[node[T]]
 }
 
 // paddedPtr isolates the head/tail words on their own cache-line pairs
@@ -60,8 +63,10 @@ const hpSlots = 2
 // NewHP creates a hazard-pointer-backed queue for up to nthreads threads.
 // poolCap bounds each thread's free list (<=0 selects the pool default);
 // scanThreshold tunes the hazard domain (<=0 selects Michael's 2·K·n).
-// Of the Queue options only WithFastPath is honoured (the HP queue's
-// helping structure is fixed to the base algorithm's).
+// Of the Queue options only WithFastPath and WithArena are honoured (the
+// HP queue's helping structure is fixed to the base algorithm's); with
+// WithArena the node pool's miss path bump-allocates from per-thread
+// blocks instead of making individual heap allocations.
 func NewHP[T any](nthreads, poolCap, scanThreshold int, opts ...Option) *HPQueue[T] {
 	if nthreads <= 0 {
 		panic("core: nthreads must be positive")
@@ -75,7 +80,12 @@ func NewHP[T any](nthreads, poolCap, scanThreshold int, opts ...Option) *HPQueue
 		nthr:     nthreads,
 		patience: cfg.patience,
 	}
-	q.nodes = pool.New[node[T]](nthreads, poolCap, func() *node[T] { return &node[T]{} })
+	if cfg.arena {
+		q.arena = pool.NewArena[node[T]](nthreads, cfg.arenaBlock)
+		q.nodes = pool.NewWithArena[node[T]](nthreads, poolCap, q.arena)
+	} else {
+		q.nodes = pool.New[node[T]](nthreads, poolCap, func() *node[T] { return &node[T]{} })
+	}
 	q.dom = hazard.NewDomain[node[T]](nthreads, hpSlots, scanThreshold, func(tid int, n *node[T]) {
 		q.nodes.Put(tid, n)
 	})
@@ -105,6 +115,15 @@ func (q *HPQueue[T]) Domain() *hazard.Domain[node[T]] { return q.dom }
 
 // PoolStats reports the node pool's (reuse hits, allocations, drops).
 func (q *HPQueue[T]) PoolStats() (hits, misses, drops int64) { return q.nodes.Stats() }
+
+// ArenaStats reports (blocks allocated, nodes handed out) of the node
+// arena; zeros unless the queue was built with WithArena.
+func (q *HPQueue[T]) ArenaStats() (blocks, gets int64) {
+	if q.arena == nil {
+		return 0, 0
+	}
+	return q.arena.Stats()
+}
 
 func (q *HPQueue[T]) checkTid(tid int) {
 	if tid < 0 || tid >= q.nthr {
@@ -296,22 +315,30 @@ func (q *HPQueue[T]) helpFinishEnq(caller int) {
 	if q.tailRef.p.Load() != last {
 		return
 	}
-	tid := int(next.enqTid)
-	if tid == noTIDInt {
-		// Fast-path node: no descriptor to complete, only the tail fix
-		// (see Queue.helpFinishEnq).
-		q.tailRef.p.CompareAndSwap(last, next)
-		return
+	// Step 2 — complete the owner's descriptor when the dangling node is
+	// the one it describes. A batch chain publishes one descriptor for
+	// its HEAD only; interior chain nodes carry the owner's tid but match
+	// no descriptor, and simply skip to the tail fix below — the same
+	// treatment a descriptor-less fast-path node gets.
+	if tid := int(next.enqTid); tid >= 0 && tid < q.nthr {
+		curDesc := q.state[tid].p.Load()
+		if last == q.tailRef.p.Load() && curDesc.node == next {
+			newDesc := &opDesc[T]{phase: curDesc.phase, pending: false, enqueue: true, node: next}
+			q.state[tid].p.CompareAndSwap(curDesc, newDesc)
+		}
 	}
-	if tid < 0 || tid >= q.nthr {
-		return
-	}
-	curDesc := q.state[tid].p.Load()
-	if last == q.tailRef.p.Load() && curDesc.node == next {
-		newDesc := &opDesc[T]{phase: curDesc.phase, pending: false, enqueue: true, node: next}
-		q.state[tid].p.CompareAndSwap(curDesc, newDesc)
-		q.tailRef.p.CompareAndSwap(last, next)
-	}
+	// Step 3 — the tail fix, unconditionally one step to the observed
+	// dangling node. Unlike the GC variant, the HP variant never jumps
+	// tail to a descriptor's chainTail: with node recycling, a stale
+	// descriptor whose node pointer happens to equal next (ABA through
+	// the pool) could smuggle in a chainTail that already left the list.
+	// The step target next carries no such risk — the hazard on last
+	// plus the tail == last re-validation prove next is the current
+	// dangling node — so chains are passed node by node, each step
+	// looking exactly like a single lagging append. The step CAS is
+	// sound whether or not a descriptor matched: next is in the list
+	// directly after last, and a failed CAS just means tail moved.
+	q.tailRef.p.CompareAndSwap(last, next)
 }
 
 func (q *HPQueue[T]) helpDeq(caller, tid int, ph int64) {

@@ -43,7 +43,19 @@ type metricCounters struct {
 	fastFallbacks atomic.Int64
 	// DeqClaimFailures counts lost fast-path deqTid claim races.
 	deqClaimFailures atomic.Int64
-	_                [40]byte // round the struct up to whole cache-line pairs
+	// BatchEnqs / BatchDeqs count EnqueueBatch/DequeueBatch invocations
+	// that took the batch path (len >= 2); BatchEnqElems/BatchDeqElems
+	// count the elements they moved. Elems/Batches is the realized
+	// amortization factor.
+	batchEnqs     atomic.Int64
+	batchEnqElems atomic.Int64
+	batchDeqs     atomic.Int64
+	batchDeqElems atomic.Int64
+	// DescCacheHits / DescCacheMisses count newDesc allocations served
+	// from (or missing) the WithDescriptorCache slot.
+	descCacheHits   atomic.Int64
+	descCacheMisses atomic.Int64
+	_               [120]byte // round the struct up to whole cache-line pairs
 }
 
 // newMetrics allocates counter blocks for nthreads threads.
@@ -64,10 +76,39 @@ type Snapshot struct {
 	FastDeqHits       int64
 	FastFallbacks     int64
 	DeqClaimFailures  int64
+	BatchEnqs         int64
+	BatchEnqElems     int64
+	BatchDeqs         int64
+	BatchDeqElems     int64
+	DescCacheHits     int64
+	DescCacheMisses   int64
 }
 
 // FastHits is the total number of operations completed on the fast path.
 func (s Snapshot) FastHits() int64 { return s.FastEnqHits + s.FastDeqHits }
+
+// Add returns the field-wise sum of two snapshots — the aggregation step
+// of Total and of cross-shard rollups.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	s.OpsStarted += o.OpsStarted
+	s.HelpScans += o.HelpScans
+	s.HelpsGiven += o.HelpsGiven
+	s.AppendCASFailures += o.AppendCASFailures
+	s.DescCASFailures += o.DescCASFailures
+	s.TailFixes += o.TailFixes
+	s.HeadFixes += o.HeadFixes
+	s.FastEnqHits += o.FastEnqHits
+	s.FastDeqHits += o.FastDeqHits
+	s.FastFallbacks += o.FastFallbacks
+	s.DeqClaimFailures += o.DeqClaimFailures
+	s.BatchEnqs += o.BatchEnqs
+	s.BatchEnqElems += o.BatchEnqElems
+	s.BatchDeqs += o.BatchDeqs
+	s.BatchDeqElems += o.BatchDeqElems
+	s.DescCacheHits += o.DescCacheHits
+	s.DescCacheMisses += o.DescCacheMisses
+	return s
+}
 
 // FallbackRate is the fraction of started operations that exhausted their
 // fast-path patience and fell back to the helping protocol (0 when no
@@ -94,6 +135,12 @@ func (m *Metrics) Thread(tid int) Snapshot {
 		FastDeqHits:       c.fastDeqHits.Load(),
 		FastFallbacks:     c.fastFallbacks.Load(),
 		DeqClaimFailures:  c.deqClaimFailures.Load(),
+		BatchEnqs:         c.batchEnqs.Load(),
+		BatchEnqElems:     c.batchEnqElems.Load(),
+		BatchDeqs:         c.batchDeqs.Load(),
+		BatchDeqElems:     c.batchDeqElems.Load(),
+		DescCacheHits:     c.descCacheHits.Load(),
+		DescCacheMisses:   c.descCacheMisses.Load(),
 	}
 }
 
@@ -101,18 +148,7 @@ func (m *Metrics) Thread(tid int) Snapshot {
 func (m *Metrics) Total() Snapshot {
 	var t Snapshot
 	for i := range m.counters {
-		s := m.Thread(i)
-		t.OpsStarted += s.OpsStarted
-		t.HelpScans += s.HelpScans
-		t.HelpsGiven += s.HelpsGiven
-		t.AppendCASFailures += s.AppendCASFailures
-		t.DescCASFailures += s.DescCASFailures
-		t.TailFixes += s.TailFixes
-		t.HeadFixes += s.HeadFixes
-		t.FastEnqHits += s.FastEnqHits
-		t.FastDeqHits += s.FastDeqHits
-		t.FastFallbacks += s.FastFallbacks
-		t.DeqClaimFailures += s.DeqClaimFailures
+		t = t.Add(m.Thread(i))
 	}
 	return t
 }
@@ -174,5 +210,27 @@ func (m *Metrics) incFastExpired(tid int) {
 func (m *Metrics) incDeqClaimFail(tid int) {
 	if m != nil {
 		m.counters[tid].deqClaimFailures.Add(1)
+	}
+}
+func (m *Metrics) incBatchEnq(tid int, k int) {
+	if m != nil {
+		m.counters[tid].batchEnqs.Add(1)
+		m.counters[tid].batchEnqElems.Add(int64(k))
+	}
+}
+func (m *Metrics) incBatchDeq(tid int, k int) {
+	if m != nil {
+		m.counters[tid].batchDeqs.Add(1)
+		m.counters[tid].batchDeqElems.Add(int64(k))
+	}
+}
+func (m *Metrics) incDescCacheHit(tid int) {
+	if m != nil {
+		m.counters[tid].descCacheHits.Add(1)
+	}
+}
+func (m *Metrics) incDescCacheMiss(tid int) {
+	if m != nil {
+		m.counters[tid].descCacheMisses.Add(1)
 	}
 }

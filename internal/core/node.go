@@ -71,6 +71,14 @@ type opDesc[T any] struct {
 	// (nil while unset, and nil in the final descriptor of a dequeue
 	// that observed an empty queue).
 	node *node[T]
+	// chainTail is non-nil only for a batch enqueue (EnqueueBatch): node
+	// is then the head of a pre-linked chain of k nodes and chainTail its
+	// last node. The whole chain enters the list with the one Line 74 CAS
+	// on node, and helpers swing tail from the pre-append last node
+	// directly to chainTail — never to a chain-interior node — so the
+	// "tail is the last or second-to-last node" invariant generalizes to
+	// "last node or the node whose next begins a dangling chain".
+	chainTail *node[T]
 	// value is the §3.4 extension used only by HPQueue: the dequeued
 	// value is copied here by help_finish_deq so the dequeuer never
 	// dereferences node after it may have been retired and recycled.

@@ -16,7 +16,9 @@ var (
 	_ = [1]struct{}{}[unsafe.Sizeof(paddedCursor{})-sepBytes]
 	_ = [1]struct{}{}[unsafe.Sizeof(descCacheSlot[int64]{})-sepBytes]
 	_ = [1]struct{}{}[unsafe.Sizeof(paddedPtr[int64]{})-sepBytes]
-	_ = [1]struct{}{}[unsafe.Sizeof(metricCounters{})-sepBytes]
+	// metricCounters outgrew one separation unit when the batch and
+	// descriptor-cache counters were added; it now occupies exactly two.
+	_ = [1]struct{}{}[unsafe.Sizeof(metricCounters{})-2*sepBytes]
 )
 
 // TestPaddedStructSizes restates the compile-time assertions with
@@ -26,15 +28,16 @@ func TestPaddedStructSizes(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		size uintptr
+		want uintptr
 	}{
-		{"paddedDesc", unsafe.Sizeof(paddedDesc[int64]{})},
-		{"paddedCursor", unsafe.Sizeof(paddedCursor{})},
-		{"descCacheSlot", unsafe.Sizeof(descCacheSlot[int64]{})},
-		{"paddedPtr", unsafe.Sizeof(paddedPtr[int64]{})},
-		{"metricCounters", unsafe.Sizeof(metricCounters{})},
+		{"paddedDesc", unsafe.Sizeof(paddedDesc[int64]{}), sepBytes},
+		{"paddedCursor", unsafe.Sizeof(paddedCursor{}), sepBytes},
+		{"descCacheSlot", unsafe.Sizeof(descCacheSlot[int64]{}), sepBytes},
+		{"paddedPtr", unsafe.Sizeof(paddedPtr[int64]{}), sepBytes},
+		{"metricCounters", unsafe.Sizeof(metricCounters{}), 2 * sepBytes},
 	} {
-		if tc.size != sepBytes {
-			t.Errorf("%s: size %d, want %d", tc.name, tc.size, sepBytes)
+		if tc.size != tc.want {
+			t.Errorf("%s: size %d, want %d", tc.name, tc.size, tc.want)
 		}
 	}
 	var q Queue[int64]

@@ -354,7 +354,7 @@ func TestDescriptorCacheReuse(t *testing.T) {
 	q := New[int64](2, WithDescriptorCache())
 	d := &opDesc[int64]{phase: 1}
 	q.recycleDesc(0, d)
-	got := q.newDesc(0, 7, true, false, nil)
+	got := q.newDesc(0, 7, true, false, nil, nil)
 	if got != d {
 		t.Fatal("cached descriptor not reused")
 	}
@@ -362,13 +362,13 @@ func TestDescriptorCacheReuse(t *testing.T) {
 		t.Fatalf("reused descriptor not reinitialized: %+v", got)
 	}
 	// Cache is per thread: caller 1's slot is untouched.
-	if q.newDesc(1, 1, false, false, nil) == d {
+	if q.newDesc(1, 1, false, false, nil, nil) == d {
 		t.Fatal("descriptor leaked across threads")
 	}
 	// Without the option, recycleDesc is a no-op.
 	q2 := New[int64](2)
 	q2.recycleDesc(0, d)
-	if q2.newDesc(0, 1, false, false, nil) == d {
+	if q2.newDesc(0, 1, false, false, nil, nil) == d {
 		t.Fatal("cache active without option")
 	}
 }

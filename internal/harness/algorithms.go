@@ -58,24 +58,30 @@ func BaseWF() Algorithm {
 	}}
 }
 
-// OptWF1 applies only optimization 1 (help-one, cyclic).
+// OptWF1 applies only optimization 1 (help-one, cyclic). The opt-WF
+// constructors also enable the §3.3 descriptor-cache enhancement and the
+// event counters, so the bench summaries can report cache hit/miss rates
+// (the counters cost one predictable nil-check + atomic add per event).
 func OptWF1() Algorithm {
 	return Algorithm{Name: "opt WF (1)", New: func(n int) queues.Queue {
-		return core.New[int64](n, core.WithVariant(core.VariantOpt1))
+		return core.New[int64](n, core.WithVariant(core.VariantOpt1),
+			core.WithDescriptorCache(), core.WithMetrics())
 	}}
 }
 
 // OptWF2 applies only optimization 2 (atomic phase counter).
 func OptWF2() Algorithm {
 	return Algorithm{Name: "opt WF (2)", New: func(n int) queues.Queue {
-		return core.New[int64](n, core.WithVariant(core.VariantOpt2))
+		return core.New[int64](n, core.WithVariant(core.VariantOpt2),
+			core.WithDescriptorCache(), core.WithMetrics())
 	}}
 }
 
 // OptWF12 applies both optimizations — the "opt WF (1+2)" series.
 func OptWF12() Algorithm {
 	return Algorithm{Name: "opt WF (1+2)", New: func(n int) queues.Queue {
-		return core.New[int64](n, core.WithVariant(core.VariantOpt12))
+		return core.New[int64](n, core.WithVariant(core.VariantOpt12),
+			core.WithDescriptorCache(), core.WithMetrics())
 	}}
 }
 
@@ -86,17 +92,37 @@ func OptWF12() Algorithm {
 // uncontended cost.
 func FastWF() Algorithm {
 	return Algorithm{Name: "fast WF", New: func(n int) queues.Queue {
-		return core.New[int64](n, core.WithFastPath(0))
+		return core.New[int64](n, core.WithFastPath(0),
+			core.WithDescriptorCache(), core.WithMetrics())
+	}}
+}
+
+// FastWFArena is fast WF backed by the arena node allocator: slow-path
+// (and batch-chain) nodes come from per-thread bump-allocated blocks
+// instead of individual makes. The allocs/op delta against FastWF is the
+// arena's whole value proposition; see results/BENCH_batch.json.
+func FastWFArena() Algorithm {
+	return Algorithm{Name: "fast WF (arena)", New: func(n int) queues.Queue {
+		return core.New[int64](n, core.WithFastPath(0), core.WithArena(0),
+			core.WithDescriptorCache(), core.WithMetrics())
 	}}
 }
 
 // FastWFHP is the fast-path engine on the hazard-pointer variant
-// (extended benchmarks only).
+// (extended benchmarks only). Its pool miss path is arena-backed.
 func FastWFHP() Algorithm {
 	return Algorithm{Name: "fast WF+HP", New: func(n int) queues.Queue {
-		return core.NewHP[int64](n, 0, 0, core.WithFastPath(0))
+		return core.NewHP[int64](n, 0, 0, core.WithFastPath(0), core.WithArena(0))
 	}}
 }
+
+// shardedBatch adapts the frontend's ticket-returning EnqueueBatch to
+// the plain queues.Batcher signature (the batch workload does not care
+// which tickets a batch drew). Everything else — Ticketed, DequeueBatch,
+// Metrics — is promoted from the embedded frontend unchanged.
+type shardedBatch struct{ *sharded.Queue[int64] }
+
+func (a shardedBatch) EnqueueBatch(tid int, vs []int64) { a.Queue.EnqueueBatch(tid, vs) }
 
 // shardedDefault is the shard count of the stock sharded series — the
 // issue's acceptance configuration (8 shards × 8 threads).
@@ -108,7 +134,8 @@ const shardedDefault = 8
 // single-queue series to price the helping ceiling it removes.
 func ShardedWF() Algorithm {
 	return Algorithm{Name: "sharded WF", Shards: shardedDefault, New: func(n int) queues.Queue {
-		return sharded.New[int64](n, shardedDefault, core.WithFastPath(0))
+		return shardedBatch{sharded.New[int64](n, shardedDefault, core.WithFastPath(0),
+			core.WithDescriptorCache(), core.WithMetrics())}
 	}}
 }
 
@@ -118,9 +145,9 @@ func ShardedWFHP() Algorithm {
 	return Algorithm{Name: "sharded WF+HP", Shards: shardedDefault, New: func(n int) queues.Queue {
 		shards := make([]sharded.Shard[int64], shardedDefault)
 		for i := range shards {
-			shards[i] = core.NewHP[int64](n, 0, 0, core.WithFastPath(0))
+			shards[i] = core.NewHP[int64](n, 0, 0, core.WithFastPath(0), core.WithArena(0))
 		}
-		return sharded.NewOf[int64](n, shards)
+		return shardedBatch{sharded.NewOf[int64](n, shards)}
 	}}
 }
 
@@ -199,8 +226,8 @@ func Figure9Algorithms() []Algorithm {
 func AllAlgorithms() []Algorithm {
 	return []Algorithm{
 		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), FastWF(),
-		ShardedWF(), OptWF12Random(), BaseWFClear(), WFHP(), FastWFHP(),
-		ShardedWFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
+		FastWFArena(), ShardedWF(), OptWF12Random(), BaseWFClear(), WFHP(),
+		FastWFHP(), ShardedWFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
 	}
 }
 

@@ -23,9 +23,9 @@ func newRefModel(nthreads, perTh int) *refModel {
 	}
 }
 
-func (m *refModel) set(tid, k int, p *tnode)   { m.slots[[2]int{tid, k}] = p }
-func (m *refModel) clear(tid, k int)           { delete(m.slots, [2]int{tid, k}) }
-func (m *refModel) retire(tid int, p *tnode)   { m.retired[tid] = append(m.retired[tid], p) }
+func (m *refModel) set(tid, k int, p *tnode) { m.slots[[2]int{tid, k}] = p }
+func (m *refModel) clear(tid, k int)         { delete(m.slots, [2]int{tid, k}) }
+func (m *refModel) retire(tid int, p *tnode) { m.retired[tid] = append(m.retired[tid], p) }
 func (m *refModel) protected(p *tnode) bool {
 	for _, q := range m.slots {
 		if q == p {

@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestArenaDistinctZeroed pins the element contract: every Get returns a
+// distinct, zeroed slot (rule 2 of the ownership rules), and slots are
+// never handed out twice (rule 3).
+func TestArenaDistinctZeroed(t *testing.T) {
+	const n = 2*DefaultArenaBlock + 3 // force block rollover
+	a := NewArena[int64](1, 0)
+	if a.BlockSize() != DefaultArenaBlock {
+		t.Fatalf("BlockSize() = %d, want %d", a.BlockSize(), DefaultArenaBlock)
+	}
+	seen := make(map[*int64]bool, n)
+	for i := 0; i < n; i++ {
+		p := a.Get(0)
+		if *p != 0 {
+			t.Fatalf("Get %d: slot not zeroed: %d", i, *p)
+		}
+		if seen[p] {
+			t.Fatalf("Get %d: slot handed out twice", i)
+		}
+		seen[p] = true
+		*p = int64(i) + 1 // dirty it; must not reappear zeroed or otherwise
+	}
+	blocks, gets := a.Stats()
+	if gets != n {
+		t.Fatalf("gets = %d, want %d", gets, n)
+	}
+	if blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", blocks)
+	}
+}
+
+// TestArenaPerThreadIsolation runs concurrent owners; each thread's slots
+// must be disjoint from every other's (rule 1 makes Get unsynchronized,
+// so overlap would be a data race as well as a logic bug). Run under
+// -race by the tier-1 gate.
+func TestArenaPerThreadIsolation(t *testing.T) {
+	const threads, per = 4, 200
+	a := NewArena[int64](threads, 16)
+	got := make([][]*int64, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := a.Get(tid)
+				*p = int64(tid)
+				got[tid] = append(got[tid], p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	owner := make(map[*int64]int)
+	for tid, ps := range got {
+		for _, p := range ps {
+			if prev, dup := owner[p]; dup {
+				t.Fatalf("slot shared between threads %d and %d", prev, tid)
+			}
+			owner[p] = tid
+			if *p != int64(tid) {
+				t.Fatalf("thread %d slot overwritten to %d", tid, *p)
+			}
+		}
+	}
+}
+
+// TestPoolWithArenaMissPath: a pool built over an arena serves misses
+// from the arena instead of the callback (which must never run).
+func TestPoolWithArenaMissPath(t *testing.T) {
+	a := NewArena[int64](1, 8)
+	p := NewWithArena[int64](1, 4, a)
+	for i := 0; i < 10; i++ {
+		if v := p.Get(0); *v != 0 {
+			t.Fatalf("miss %d: non-zero arena slot %d", i, *v)
+		}
+	}
+	if _, gets := a.Stats(); gets != 10 {
+		t.Fatalf("arena gets = %d, want 10 (callback used instead?)", gets)
+	}
+	// Recycled slots now take priority over the arena.
+	x := a.Get(0)
+	p.Put(0, x)
+	if got := p.Get(0); got != x {
+		t.Fatal("pool ignored its recycled slot")
+	}
+}
+
+// TestNewWithArenaNilPanics pins the constructor contract.
+func TestNewWithArenaNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithArena(nil) did not panic")
+		}
+	}()
+	NewWithArena[int64](1, 4, nil)
+}

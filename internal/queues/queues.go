@@ -48,6 +48,23 @@ type Ticketed interface {
 	Shards() int
 }
 
+// Batcher is implemented by queues with first-class batch operations
+// (internal/core's chained-node EnqueueBatch and multi-claim
+// DequeueBatch, and the sharded frontend's ticket-batch forms). Drivers
+// that move elements in groups — the harness's batch workload, the
+// facade's batch API — type-assert to this interface and fall back to
+// loops of single operations when it is absent.
+type Batcher interface {
+	Queue
+	// EnqueueBatch inserts vs in order. On a single queue the batch
+	// occupies consecutive FIFO positions; on a sharded frontend it
+	// takes consecutive dispatch tickets.
+	EnqueueBatch(tid int, vs []int64)
+	// DequeueBatch removes up to len(dst) elements into dst, returning
+	// how many were obtained.
+	DequeueBatch(tid int, dst []int64) int
+}
+
 // Factory constructs a fresh queue for up to nthreads concurrent threads.
 // The harness creates one queue per benchmark run through a Factory so
 // runs never share warmed-up state.

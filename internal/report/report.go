@@ -26,8 +26,8 @@ type Table struct {
 	Series []string
 	// Unit is appended to the header of each value column.
 	Unit string
-	rows  map[string]map[string]Cell // xKey -> series -> cell
-	xs    []string                   // x keys in insertion order
+	rows map[string]map[string]Cell // xKey -> series -> cell
+	xs   []string                   // x keys in insertion order
 }
 
 // NewTable creates an empty table.

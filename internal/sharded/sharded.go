@@ -144,21 +144,70 @@ func (q *Queue[T]) DequeueTicket(tid int) (v T, ok bool, ticket uint64) {
 	return v, ok, t
 }
 
+// Batcher is the optional chained-append contract of a shard. Both core
+// queue flavours satisfy it; a shard that does not is fed one element at
+// a time.
+type Batcher[T any] interface {
+	EnqueueBatch(tid int, vs []T)
+}
+
 // EnqueueBatch inserts vs with one ticket fetch-and-add for the whole
 // batch: the k elements take consecutive tickets t..t+k-1, so they fan
 // out round-robin across the shards exactly as k single enqueues would,
-// at one shared-counter RMW instead of k. It returns the first ticket of
-// the batch (meaningless when vs is empty).
+// at one shared-counter RMW instead of k. A shard's whole ticket run
+// (every ⌈k/N⌉-th element, gathered in ticket order) is then appended as
+// ONE chained batch when the shard supports it (core.Queue.EnqueueBatch)
+// — one linearizing CAS per shard instead of one per element — so the
+// per-shard FIFO order is exactly that of k single enqueues. It returns
+// the first ticket of the batch (meaningless when vs is empty).
 func (q *Queue[T]) EnqueueBatch(tid int, vs []T) uint64 {
 	k := uint64(len(vs))
 	if k == 0 {
 		return 0
 	}
+	nsh := uint64(len(q.shards))
 	t := q.enqT.Add(k) - k
-	for i, v := range vs {
-		shard := (t + uint64(i)) % uint64(len(q.shards))
-		yield.At(yield.SHEnqTicket, tid, int(shard))
-		q.shards[shard].Enqueue(tid, v)
+	if k == 1 || nsh == 1 {
+		// Degenerate fan-out: the whole batch is one shard's run.
+		shard := t % nsh
+		if b, ok := q.shards[shard].(Batcher[T]); ok {
+			for range vs {
+				yield.At(yield.SHEnqTicket, tid, int(shard))
+			}
+			b.EnqueueBatch(tid, vs)
+		} else {
+			for _, v := range vs {
+				yield.At(yield.SHEnqTicket, tid, int(shard))
+				q.shards[shard].Enqueue(tid, v)
+			}
+		}
+		return t
+	}
+	// General fan-out: stride-gather each shard's ticket run. Runs are
+	// emitted shard-major rather than ticket-major; that reorders only
+	// ACROSS shards, where no ordering is promised — within a shard the
+	// gather preserves ascending tickets.
+	var sub []T
+	strides := nsh
+	if k < nsh {
+		strides = k
+	}
+	for off := uint64(0); off < strides; off++ {
+		shard := (t + off) % nsh
+		sub = sub[:0]
+		for i := off; i < k; i += nsh {
+			sub = append(sub, vs[i])
+		}
+		for range sub {
+			yield.At(yield.SHEnqTicket, tid, int(shard))
+		}
+		if b, ok := q.shards[shard].(Batcher[T]); ok {
+			b.EnqueueBatch(tid, sub)
+		} else {
+			for _, v := range sub {
+				q.shards[shard].Enqueue(tid, v)
+			}
+		}
 	}
 	return t
 }

@@ -51,7 +51,7 @@ func TestSequentialFIFO(t *testing.T) {
 		t.Fatalf("len %d", q.Len())
 	}
 	for i := int64(0); i < 200; i++ {
-		if v, ok := q.Dequeue(int(i)%3); !ok || v != i {
+		if v, ok := q.Dequeue(int(i) % 3); !ok || v != i {
 			t.Fatalf("(%d,%v) want %d", v, ok, i)
 		}
 	}

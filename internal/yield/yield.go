@@ -83,6 +83,17 @@ const (
 	// by fastTID and helpers must advance head without a descriptor.
 	KPFastBeforeDeqTidCAS
 	KPFastAfterDeqTidCAS
+	// KPChainAfterAppend fires after a batch enqueuer's successful
+	// append CAS published its whole pre-linked chain, before tail is
+	// swung past the chain — the window in which the chain dangles
+	// (fast chains: every node enqTid = noTID and helpers step tail
+	// node by node; slow chains: one descriptor for the head and
+	// helpers jump tail to the chain's last node).
+	KPChainAfterAppend
+	// KPChainBeforeSwing fires before each tail CAS of a fast batch
+	// enqueuer's chain walk (advanceTailPastChain) — between these
+	// CASes concurrent helpers may have advanced tail into the chain.
+	KPChainBeforeSwing
 	// MSBeforeAppend / MSBeforeHeadCAS are the analogous windows in the
 	// Michael–Scott baseline, used by its own race tests.
 	MSBeforeAppend
@@ -109,6 +120,7 @@ var pointNames = [numPoints]string{
 	"KPFastEnqAttempt", "KPFastDeqAttempt",
 	"KPFastBeforeAppend", "KPFastAfterAppend",
 	"KPFastBeforeDeqTidCAS", "KPFastAfterDeqTidCAS",
+	"KPChainAfterAppend", "KPChainBeforeSwing",
 	"MSBeforeAppend", "MSBeforeHeadCAS",
 	"SHEnqTicket", "SHDeqTicket",
 }

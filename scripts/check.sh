@@ -7,7 +7,8 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/core/ ./internal/hazard/ ./internal/sharded/
-# Fuzz smoke: a short randomized differential of the sharded frontend
-# against its sequential specification (regression corpus runs in
-# `go test` above; this probes fresh inputs).
+# Fuzz smoke: short randomized differentials against the sequential
+# specification — the sharded frontend, and the core batch operations
+# (regression corpora run in `go test` above; these probe fresh inputs).
 go test -run='^$' -fuzz='^FuzzSharded$' -fuzztime=10s ./internal/sharded/
+go test -run='^$' -fuzz='^FuzzBatchCore$' -fuzztime=10s ./internal/core/

@@ -114,6 +114,12 @@ var (
 	// lock-free attempts per operation before falling back to the
 	// wait-free helping protocol (patience <= 0 selects the default).
 	WithFastPath = core.WithFastPath
+	// WithArena block-allocates queue nodes from per-thread arena
+	// segments of blockSize nodes (<= 0 selects the default, 64), so
+	// steady-state allocations drop to roughly one per blockSize
+	// enqueues. Nodes are never reused on the GC variant, only batched;
+	// see internal/pool for the ownership rules.
+	WithArena = core.WithArena
 	// WithShards(n) puts a wait-free ticket dispatcher in front of n
 	// independent shards, each running the configured variant. Ordering
 	// weakens from one FIFO to per-shard FIFO (ticket residue classes),
@@ -183,13 +189,27 @@ func (q *Queue[T]) Enqueue(tid int, v T) { q.q.Enqueue(tid, v) }
 // ticket dispatched it to; see WithShards.
 func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) { return q.q.Dequeue(tid) }
 
-// EnqueueBatch inserts vs in order on behalf of thread tid. On a sharded
-// queue the whole batch costs one dispatch ticket fetch-and-add and the
-// elements fan out round-robin over consecutive tickets; unsharded it is
-// a plain loop over Enqueue.
+// batcher is the optional first-class batch contract of a backend.
+type batcher[T any] interface {
+	EnqueueBatch(tid int, vs []T)
+	DequeueBatch(tid int, dst []T) int
+}
+
+// EnqueueBatch inserts vs in order on behalf of thread tid, atomically
+// with respect to position: unsharded, the values are pre-linked into a
+// node chain and enter the queue with ONE linearizing CAS, so they
+// occupy consecutive FIFO positions with nothing interleaved — and the
+// whole batch costs one descriptor publish at most. On a sharded queue
+// the batch costs one dispatch ticket fetch-and-add, fans out round-
+// robin over consecutive tickets, and each shard's portion is appended
+// as one chain; contiguity then holds within each shard's FIFO.
 func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 	if q.sh != nil {
 		q.sh.EnqueueBatch(tid, vs)
+		return
+	}
+	if b, ok := q.q.(batcher[T]); ok {
+		b.EnqueueBatch(tid, vs)
 		return
 	}
 	for _, v := range vs {
@@ -198,14 +218,18 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 }
 
 // DequeueBatch removes up to len(dst) elements into dst, returning how
-// many were obtained. On a sharded queue the batch claims len(dst)
-// consecutive dispatch tickets with one fetch-and-add — probing len(dst)
-// consecutive shards, so a batch of Shards() slots samples every shard
-// once; unsharded it is a plain loop that stops at the first empty
-// result.
+// many were obtained. Unsharded, it is a fast-path multi-claim plus
+// single dequeues — each removal linearizes individually, the batch form
+// just amortizes the per-call setup; it stops early only on an empty
+// observation. On a sharded queue the batch claims len(dst) consecutive
+// dispatch tickets with one fetch-and-add — probing len(dst) consecutive
+// shards, so a batch of Shards() slots samples every shard once.
 func (q *Queue[T]) DequeueBatch(tid int, dst []T) int {
 	if q.sh != nil {
 		return q.sh.DequeueBatch(tid, dst)
+	}
+	if b, ok := q.q.(batcher[T]); ok {
+		return b.DequeueBatch(tid, dst)
 	}
 	n := 0
 	for n < len(dst) {
@@ -282,10 +306,10 @@ type HPQueue[T any] struct {
 
 // NewHP creates a hazard-pointer-backed queue for up to maxThreads
 // threads. poolCap bounds each thread's node free list (0 selects the
-// default).
-func NewHP[T any](maxThreads, poolCap int) *HPQueue[T] {
+// default). Of the options, WithFastPath and WithArena are honoured.
+func NewHP[T any](maxThreads, poolCap int, opts ...Option) *HPQueue[T] {
 	return &HPQueue[T]{
-		q:   core.NewHP[T](maxThreads, poolCap, 0),
+		q:   core.NewHP[T](maxThreads, poolCap, 0, opts...),
 		reg: tid.NewRegistry(maxThreads),
 	}
 }
@@ -298,6 +322,14 @@ func (q *HPQueue[T]) Enqueue(tid int, v T) { q.q.Enqueue(tid, v) }
 
 // Dequeue removes and returns the oldest element on behalf of thread tid.
 func (q *HPQueue[T]) Dequeue(tid int) (v T, ok bool) { return q.q.Dequeue(tid) }
+
+// EnqueueBatch inserts vs in order as one chained append; see
+// Queue.EnqueueBatch for the contiguity contract.
+func (q *HPQueue[T]) EnqueueBatch(tid int, vs []T) { q.q.EnqueueBatch(tid, vs) }
+
+// DequeueBatch removes up to len(dst) elements into dst; see
+// Queue.DequeueBatch.
+func (q *HPQueue[T]) DequeueBatch(tid int, dst []T) int { return q.q.DequeueBatch(tid, dst) }
 
 // PoolStats reports node reuse counters (hits, allocator misses, drops).
 func (q *HPQueue[T]) PoolStats() (hits, misses, drops int64) { return q.q.PoolStats() }
