@@ -1,0 +1,105 @@
+package wfq
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wfq/internal/yield"
+)
+
+// stallAtPoint parks the first goroutine to reach yield point p,
+// reporting arrival on arrived and resuming on release.
+func stallAtPoint(p yield.Point) (arrived, release chan struct{}, undo func()) {
+	arrived = make(chan struct{})
+	release = make(chan struct{})
+	fired := false
+	prev := yield.Set(func(pt yield.Point, _, _ int) {
+		if pt == p && !fired {
+			fired = true
+			arrived <- struct{}{}
+			<-release
+		}
+	})
+	return arrived, release, func() { yield.Set(prev) }
+}
+
+// TestEnqueueNotifyRacesChainSwing choreographs the interleaving where
+// an enqueue-side notify lands while a batch appender's chain is
+// published but its tail swing is still in flight:
+//
+//	consumer parks → A appends [1 2 3] with the Line-74 chain CAS and
+//	stalls before its first tail swing (tail lags at the pre-chain
+//	node) → B enqueues 99 and notifies.
+//
+// The woken consumer must drain 1,2,3 through the lagging-tail state
+// (helping the swing itself) and then 99 — chain atomicity and FIFO
+// order survive the notify racing the swing. A then completes against
+// the helped tail, and Close observes a quiet queue.
+func TestEnqueueNotifyRacesChainSwing(t *testing.T) {
+	const producerA, consumer, producerB = 0, 1, 2
+	q := New[int64](4, WithFastPath(8))
+
+	vals := make(chan int64, 4)
+	cdone := make(chan error, 1)
+	go func() {
+		for {
+			v, err := q.DequeueCtx(context.Background(), consumer)
+			if err != nil {
+				cdone <- err
+				return
+			}
+			vals <- v
+		}
+	}()
+	for q.g.EC().Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	arrived, release, undo := stallAtPoint(yield.KPChainBeforeSwing)
+	defer undo()
+
+	adone := make(chan error, 1)
+	go func() { adone <- q.TryEnqueueBatch(producerA, []int64{1, 2, 3}) }()
+	<-arrived // chain is in the list, tail still at the pre-chain node
+
+	if err := q.TryEnqueue(producerB, 99); err != nil {
+		t.Fatalf("B enqueue: %v", err)
+	}
+
+	// The notify alone must deliver all four elements in FIFO order —
+	// A is still stalled mid-swing and cannot help.
+	for i, want := range []int64{1, 2, 3, 99} {
+		select {
+		case v := <-vals:
+			if v != want {
+				t.Fatalf("delivery %d: got %d, want %d", i, v, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d (want %d) never arrived: notify lost across the chain swing", i, want)
+		}
+	}
+
+	close(release)
+	select {
+	case err := <-adone:
+		if err != nil {
+			t.Fatalf("A: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("A never completed its swing against the helped tail")
+	}
+
+	if err := q.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-cdone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("consumer exit: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not terminate the consumer")
+	}
+}

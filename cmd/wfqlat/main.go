@@ -5,10 +5,17 @@
 // disturbed scheduler, where a preempted lock-free thread stalls its own
 // operation but a preempted wait-free thread gets helped.
 //
+// With -blocking it instead measures the blocking-consumer regime: a
+// low-duty-cycle workload where what matters is the consumer's IDLE
+// cost (spin-poll burns a core; DequeueCtx parks) and the park→wake
+// delivery latency; -json writes the series for results/.
+//
 // Usage:
 //
 //	wfqlat [-threads 8] [-iters 20000] [-profile preempt] [-sample 1]
 //	       [-algs "LF,base WF,opt WF (1+2)"]
+//	wfqlat -blocking [-duration 2s] [-producers 4] [-consumers 4]
+//	       [-json results/BENCH_blocking.json]
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"wfq/internal/harness"
 )
@@ -26,7 +34,24 @@ func main() {
 	profileName := flag.String("profile", "preempt", "scheduler profile: default, preempt or oversub")
 	sample := flag.Int("sample", 1, "time one in every k operations")
 	algsFlag := flag.String("algs", "LF,base WF,opt WF (1+2)", "comma-separated algorithm names")
+	blocking := flag.Bool("blocking", false, "measure the blocking-consumer workload instead of per-op latency")
+	producers := flag.Int("producers", 4, "blocking mode: producer goroutines")
+	consumers := flag.Int("consumers", 4, "blocking mode: consumer goroutines")
+	duration := flag.Duration("duration", 2*time.Second, "blocking mode: production phase length")
+	interval := flag.Duration("interval", time.Millisecond, "blocking mode: producer burst period")
+	burst := flag.Int("burst", 10, "blocking mode: enqueues per producer burst")
+	jsonPath := flag.String("json", "", "blocking mode: write the series as JSON to this path")
 	flag.Parse()
+
+	if *blocking {
+		if err := runBlocking(blockingOpts{
+			algs: *algsFlag, producers: *producers, consumers: *consumers,
+			duration: *duration, interval: *interval, burst: *burst, jsonPath: *jsonPath,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	prof, ok := harness.ProfileByName(*profileName)
 	if !ok {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -114,27 +115,49 @@ func runEpoch(alg harness.Algorithm, threads int, epoch, watchdog time.Duration,
 		return 0, fmt.Errorf("livelock: workers did not finish within %v", watchdog)
 	}
 
-	// Drain and check conservation. A single empty result proves a
-	// single queue empty, but a sharded frontend only proves ONE shard
-	// empty: its drain needs Shards() consecutive misses (consecutive
-	// tickets visit every residue class).
-	needMisses := 1
-	if tq, ok := q.(queues.Ticketed); ok {
-		needMisses = tq.Shards()
-	}
+	// Drain and check conservation. A lifecycle-aware queue decides its
+	// own termination: Close fixes the element set (the producers above
+	// have joined, so no untracked enqueue is in flight) and DequeueCtx
+	// returns ErrClosed exactly when the queue is provably drained — on
+	// a sharded frontend that proof is the shared post-quiescence drain
+	// mask, not a guess. Queues without the lifecycle layer fall back to
+	// the old heuristic: a single empty result proves a single queue
+	// empty, but a sharded frontend only proves ONE shard empty, so its
+	// drain needs Shards() consecutive misses (consecutive tickets visit
+	// every residue class).
 	rest := int64(0)
-	misses := 0
-	for misses < needMisses {
-		v, ok := q.Dequeue(0)
-		if !ok {
-			misses++
-			continue
+	if lc, ok := q.(queues.Lifecycled); ok {
+		if err := lc.Close(); err != nil {
+			return 0, fmt.Errorf("close: %v", err)
 		}
-		misses = 0
-		if _, dup := consumed.LoadOrStore(v, -1); dup {
-			dups.Add(1)
+		for {
+			v, err := lc.DequeueCtx(context.Background(), 0)
+			if err != nil {
+				break // ErrClosed: drained
+			}
+			if _, dup := consumed.LoadOrStore(v, -1); dup {
+				dups.Add(1)
+			}
+			rest++
 		}
-		rest++
+	} else {
+		needMisses := 1
+		if tq, ok := q.(queues.Ticketed); ok {
+			needMisses = tq.Shards()
+		}
+		misses := 0
+		for misses < needMisses {
+			v, ok := q.Dequeue(0)
+			if !ok {
+				misses++
+				continue
+			}
+			misses = 0
+			if _, dup := consumed.LoadOrStore(v, -1); dup {
+				dups.Add(1)
+			}
+			rest++
+		}
 	}
 	if dups.Load() != 0 {
 		return 0, fmt.Errorf("%d duplicated values", dups.Load())

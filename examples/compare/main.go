@@ -31,23 +31,25 @@ func main() {
 	fmt.Printf("enqueue-dequeue pairs, %d threads × %d iterations\n\n", *threads, *iters)
 	fmt.Printf("%-18s %12s %14s  %s\n", "algorithm", "time", "ops/sec", "progress guarantee")
 	guarantees := map[string]string{
-		"LF":               "lock-free",
-		"LF+HP":            "lock-free, no GC needed",
-		"base WF":          "wait-free",
-		"opt WF (1)":       "wait-free",
-		"opt WF (2)":       "wait-free",
-		"opt WF (1+2)":     "wait-free",
-		"fast WF":          "wait-free (lock-free fast path)",
-		"fast WF (arena)":  "wait-free (fast path, arena nodes)",
-		"fast WF+HP":       "wait-free (fast path), no GC needed",
-		"sharded WF":       "wait-free (per-shard FIFO)",
-		"sharded WF+HP":    "wait-free (per-shard FIFO), no GC",
-		"opt WF (1+2) rnd": "wait-free (probabilistic)",
-		"base WF (clear)":  "wait-free",
-		"base WF+HP":       "wait-free, no GC needed",
-		"universal WF":     "wait-free (generic, unbounded log)",
-		"2-lock":           "blocking",
-		"mutex":            "blocking",
+		"LF":                  "lock-free",
+		"LF+HP":               "lock-free, no GC needed",
+		"base WF":             "wait-free",
+		"opt WF (1)":          "wait-free",
+		"opt WF (2)":          "wait-free",
+		"opt WF (1+2)":        "wait-free",
+		"fast WF":             "wait-free (lock-free fast path)",
+		"fast WF (arena)":     "wait-free (fast path, arena nodes)",
+		"fast WF+HP":          "wait-free (fast path), no GC needed",
+		"sharded WF":          "wait-free (per-shard FIFO)",
+		"sharded WF+HP":       "wait-free (per-shard FIFO), no GC",
+		"blocking WF":         "wait-free ops, parking consumers",
+		"blocking sharded WF": "wait-free ops (per-shard FIFO), parking consumers",
+		"opt WF (1+2) rnd":    "wait-free (probabilistic)",
+		"base WF (clear)":     "wait-free",
+		"base WF+HP":          "wait-free, no GC needed",
+		"universal WF":        "wait-free (generic, unbounded log)",
+		"2-lock":              "blocking",
+		"mutex":               "blocking",
 	}
 	for _, alg := range harness.AllAlgorithms() {
 		d, err := harness.Run(alg, cfg)

@@ -4,9 +4,13 @@
 // in another, because every queue operation completes in a bounded number
 // of steps.
 //
-// Stage workers poll their input queue and push to their output queue;
-// completion is tracked with per-stage counters so the pipeline drains
-// cleanly without closing semantics (queues, unlike channels, have none).
+// Stage boundaries use the blocking/lifecycle layer: when a stage's
+// producers finish they Close the queue, and the next stage's workers
+// run DequeueCtx until it reports ErrClosed — the queue is closed AND
+// drained. No spin-polling, no completion counters: termination flows
+// through the queues themselves, exactly like closing a channel, while
+// the element path keeps its wait-free fast path (parking happens only
+// after bounded empty attempts).
 //
 // Run with:
 //
@@ -14,8 +18,9 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -35,38 +40,42 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// One queue between each pair of stages.
 	parsed := wfq.New[item](maxThreads)
 	transformed := wfq.New[item](maxThreads)
 
-	var wg sync.WaitGroup
+	var stage1, stage2, stage3 sync.WaitGroup
 
-	// Stage 1: parse. Produces `items` items into `parsed`.
-	var parsedCount atomic.Int64
+	// Stage 1: parse. Produces `items` items into `parsed`; the last
+	// worker out closes the queue, fixing the element set downstream
+	// consumers will drain.
 	for w := 0; w < workersPerStage; w++ {
-		wg.Add(1)
+		stage1.Add(1)
 		go func(w int) {
-			defer wg.Done()
+			defer stage1.Done()
 			h, err := parsed.Handle()
 			if err != nil {
 				panic(err)
 			}
 			defer h.Release()
 			for i := w; i < items; i += workersPerStage {
-				h.Enqueue(item{id: i, value: int64(i)})
-				parsedCount.Add(1)
+				if err := h.TryEnqueue(item{id: i, value: int64(i)}); err != nil {
+					panic(err) // nobody closes parsed before stage 1 ends
+				}
 			}
 		}(w)
 	}
+	go func() { stage1.Wait(); parsed.Close() }()
 
-	// Stage 2: transform. Moves items from `parsed` to `transformed`,
-	// squaring values. Terminates once all items are known to have
-	// passed through.
-	var transformedCount atomic.Int64
+	// Stage 2: transform. Blocks on `parsed`, squares values, forwards
+	// to `transformed`. ErrClosed means closed AND drained — every item
+	// has passed through, so exiting is safe without any counting.
 	for w := 0; w < workersPerStage; w++ {
-		wg.Add(1)
+		stage2.Add(1)
 		go func() {
-			defer wg.Done()
+			defer stage2.Done()
 			in, err := parsed.Handle()
 			if err != nil {
 				panic(err)
@@ -77,44 +86,50 @@ func main() {
 				panic(err)
 			}
 			defer out.Release()
-			for transformedCount.Load() < items {
-				it, ok := in.Dequeue()
-				if !ok {
-					runtime.Gosched()
-					continue
+			for {
+				it, err := in.DequeueCtx(ctx)
+				if err != nil {
+					if errors.Is(err, wfq.ErrClosed) {
+						return
+					}
+					panic(err)
 				}
 				it.value *= it.value
-				out.Enqueue(it)
-				transformedCount.Add(1)
+				if err := out.TryEnqueue(it); err != nil {
+					panic(err)
+				}
 			}
 		}()
 	}
+	go func() { stage2.Wait(); transformed.Close() }()
 
-	// Stage 3: emit. Sums the squared values.
+	// Stage 3: emit. Sums the squared values until `transformed` is
+	// closed and drained.
 	var emitted atomic.Int64
 	var sum atomic.Int64
 	for w := 0; w < workersPerStage; w++ {
-		wg.Add(1)
+		stage3.Add(1)
 		go func() {
-			defer wg.Done()
+			defer stage3.Done()
 			h, err := transformed.Handle()
 			if err != nil {
 				panic(err)
 			}
 			defer h.Release()
-			for emitted.Load() < items {
-				it, ok := h.Dequeue()
-				if !ok {
-					runtime.Gosched()
-					continue
+			for {
+				it, err := h.DequeueCtx(ctx)
+				if err != nil {
+					if errors.Is(err, wfq.ErrClosed) {
+						return
+					}
+					panic(err)
 				}
 				sum.Add(it.value)
 				emitted.Add(1)
 			}
 		}()
 	}
-
-	wg.Wait()
+	stage3.Wait()
 
 	// Verify against the closed form: sum of squares 0²+1²+…+(n-1)².
 	n := int64(items)

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"wfq"
 	"wfq/internal/core"
 	"wfq/internal/msqueue"
 	"wfq/internal/queues"
@@ -151,6 +152,27 @@ func ShardedWFHP() Algorithm {
 	}}
 }
 
+// BlockingWF is the public facade over the fast-path queue with the
+// blocking/lifecycle layer wired (queues.Lifecycled): close-aware
+// enqueue, parking DequeueCtx, Close-driven drain. Its non-blocking ops
+// go through the same facade, so benchmarking it against "fast WF"
+// prices the lifecycle layer itself.
+func BlockingWF() Algorithm {
+	return Algorithm{Name: "blocking WF", New: func(n int) queues.Queue {
+		return wfq.New[int64](n, wfq.WithFastPath(0), wfq.WithDescriptorCache())
+	}}
+}
+
+// BlockingShardedWF is the sharded frontend with its gate-tracked
+// enqueues and shared-drain-mask blocking dequeues — the configuration
+// of the blocking-workload acceptance experiment.
+func BlockingShardedWF() Algorithm {
+	return Algorithm{Name: "blocking sharded WF", Shards: shardedDefault, New: func(n int) queues.Queue {
+		return shardedBatch{sharded.New[int64](n, shardedDefault, core.WithFastPath(0),
+			core.WithDescriptorCache())}
+	}}
+}
+
 // BaseWFClear is the base algorithm with the §3.3 dummy-descriptor
 // enhancement (WithClearOnExit): finished operations drop their node
 // references so completed threads pin no queue memory. Its role is the
@@ -226,7 +248,8 @@ func Figure9Algorithms() []Algorithm {
 func AllAlgorithms() []Algorithm {
 	return []Algorithm{
 		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), FastWF(),
-		FastWFArena(), ShardedWF(), OptWF12Random(), BaseWFClear(), WFHP(),
+		FastWFArena(), ShardedWF(), BlockingWF(), BlockingShardedWF(),
+		OptWF12Random(), BaseWFClear(), WFHP(),
 		FastWFHP(), ShardedWFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
 	}
 }

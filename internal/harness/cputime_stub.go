@@ -1,0 +1,8 @@
+//go:build !unix
+
+package harness
+
+import "time"
+
+// processCPU on platforms without getrusage: unsupported.
+func processCPU() (cpu time.Duration, ok bool) { return 0, false }

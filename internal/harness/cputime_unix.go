@@ -1,0 +1,19 @@
+//go:build unix
+
+package harness
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU reads the process's cumulative CPU time (user + system)
+// via getrusage. ok is false when the platform cannot report it; the
+// blocking-workload measurement then records wall-clock results only.
+func processCPU() (cpu time.Duration, ok bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond, true
+}

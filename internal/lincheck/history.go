@@ -93,6 +93,13 @@ func NewRecorder(nthreads, opsPerThread int) *Recorder {
 	return r
 }
 
+// Now draws a fresh timestamp from the recorder's global clock — for
+// stamping events that are not queue operations (a Close invocation and
+// response, say) on the same real-time order the recorded history uses,
+// so tests can phrase cross-event linearization claims ("no successful
+// enqueue was invoked after Close returned") against one clock.
+func (r *Recorder) Now() int64 { return r.clock.Add(1) }
+
 // Token identifies an in-flight operation between Begin and End.
 type Token struct {
 	tid, idx int

@@ -8,7 +8,10 @@
 // interface by the harness.
 package queues
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Queue is the common concurrent FIFO interface.
 //
@@ -63,6 +66,28 @@ type Batcher interface {
 	// DequeueBatch removes up to len(dst) elements into dst, returning
 	// how many were obtained.
 	DequeueBatch(tid int, dst []int64) int
+}
+
+// Lifecycled is implemented by queues with the blocking/lifecycle layer
+// (package wfq's frontends and the sharded frontend): close-aware
+// enqueue, blocking context-aware dequeue, and Close with
+// close-after-drain semantics. Drivers that can terminate consumers by
+// closing the queue — the soak tool's drain, the harness's blocking
+// workloads — type-assert to this interface and fall back to the
+// n-consecutive-empties heuristic when it is absent.
+type Lifecycled interface {
+	Queue
+	// TryEnqueue fails with the queue's ErrClosed after Close,
+	// publishing nothing, and wakes blocked dequeuers on success.
+	TryEnqueue(tid int, v int64) error
+	// DequeueCtx blocks until an element (v, nil), the queue is closed
+	// and drained (ErrClosed), or ctx ends (ctx.Err()).
+	DequeueCtx(ctx context.Context, tid int) (int64, error)
+	// Close closes the queue after waiting for in-flight tracked
+	// enqueues; pending elements remain dequeuable.
+	Close() error
+	// Closed reports whether Close has begun.
+	Closed() bool
 }
 
 // Factory constructs a fresh queue for up to nthreads concurrent threads.

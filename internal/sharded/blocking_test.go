@@ -1,0 +1,168 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfq/internal/waiter"
+)
+
+func TestTrackedEnqueueFailsAfterClose(t *testing.T) {
+	q := New[int](4, 2)
+	if _, err := q.TryEnqueueTicket(0, 1); err != nil {
+		t.Fatalf("open TryEnqueueTicket: %v", err)
+	}
+	if _, err := q.TryEnqueueBatch(0, []int{2, 3}); err != nil {
+		t.Fatalf("open TryEnqueueBatch: %v", err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := q.TryEnqueueTicket(0, 4); !errors.Is(err, waiter.ErrClosed) {
+		t.Fatalf("closed TryEnqueueTicket: %v", err)
+	}
+	if _, err := q.TryEnqueueBatch(0, []int{5}); !errors.Is(err, waiter.ErrClosed) {
+		t.Fatalf("closed TryEnqueueBatch: %v", err)
+	}
+	if err := q.TryEnqueue(0, 6); !errors.Is(err, waiter.ErrClosed) {
+		t.Fatalf("closed TryEnqueue: %v", err)
+	}
+}
+
+// TestDrainedProgression: Drained flips only after EVERY shard has been
+// observed empty post-quiescence, and the pre-close elements come out
+// first.
+func TestDrainedProgression(t *testing.T) {
+	q := New[int](2, 2)
+	for i := 1; i <= 4; i++ {
+		if _, err := q.TryEnqueueTicket(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Drained() {
+		t.Fatal("Drained true before close")
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Drained() {
+		t.Fatal("Drained true with elements pending")
+	}
+	ctx := context.Background()
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		v, err := q.DequeueCtx(ctx, 1)
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if _, err := q.DequeueCtx(ctx, 1); !errors.Is(err, waiter.ErrClosed) {
+		t.Fatalf("post-drain DequeueCtx: %v, want ErrClosed", err)
+	}
+	if !q.Drained() {
+		t.Fatal("Drained false after full drain")
+	}
+}
+
+// TestPerShardFIFOPreservedThroughDrain: the close-driven drain must not
+// reorder any shard's elements — ticket order within a shard is FIFO all
+// the way out.
+func TestPerShardFIFOPreservedThroughDrain(t *testing.T) {
+	const nshards = 4
+	q := New[uint64](2, nshards)
+	var byShard [nshards][]uint64
+	for i := uint64(0); i < 64; i++ {
+		tkt, err := q.TryEnqueueTicket(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byShard[tkt%nshards] = append(byShard[tkt%nshards], i)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Single drainer: every per-shard subsequence must come out in order.
+	var got []uint64
+	ctx := context.Background()
+	for {
+		v, err := q.DequeueCtx(ctx, 1)
+		if err != nil {
+			if !errors.Is(err, waiter.ErrClosed) {
+				t.Fatal(err)
+			}
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 64 {
+		t.Fatalf("drained %d of 64", len(got))
+	}
+	pos := map[uint64]int{}
+	for i, v := range got {
+		pos[v] = i
+	}
+	for s, vals := range byShard {
+		for i := 1; i < len(vals); i++ {
+			if pos[vals[i-1]] > pos[vals[i]] {
+				t.Fatalf("shard %d: %d drained after %d", s, vals[i-1], vals[i])
+			}
+		}
+	}
+}
+
+// TestMultiConsumerCloseDrainTerminates is the shared-drain-mask
+// regression: several blocking consumers interleaving over a multi-shard
+// queue must ALL terminate with ErrClosed after the elements run out —
+// even though each individual consumer may never personally observe
+// every shard empty (another consumer's miss counts for it).
+func TestMultiConsumerCloseDrainTerminates(t *testing.T) {
+	const consumers, nshards, elems = 4, 8, 2000
+	q := New[int](consumers+1, nshards)
+	for i := 0; i < elems; i++ {
+		if _, err := q.TryEnqueueTicket(consumers, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				_, err := q.DequeueCtx(context.Background(), tid)
+				if err != nil {
+					if !errors.Is(err, waiter.ErrClosed) {
+						t.Errorf("consumer %d: %v", tid, err)
+					}
+					return
+				}
+				delivered.Add(1)
+			}
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain did not terminate: consumers hung on a closed empty queue")
+	}
+	if delivered.Load() != elems {
+		t.Fatalf("delivered %d of %d", delivered.Load(), elems)
+	}
+	if !q.Drained() {
+		t.Fatal("Drained false after all consumers exited")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"wfq/internal/core"
+	"wfq/internal/waiter"
 	"wfq/internal/yield"
 )
 
@@ -65,6 +66,24 @@ type Queue[T any] struct {
 
 	shards   []Shard[T]
 	nthreads int
+
+	// gate is the blocking/lifecycle layer: one eventcount + close
+	// state for the WHOLE frontend, not per shard — dequeue tickets
+	// roam every residue, so a per-shard waiter set could strand a
+	// consumer on a shard no element will reach. See internal/waiter
+	// and blocking.go.
+	gate *waiter.Gate
+	// drainMissed/drainLeft are the shared post-close drain mask: once
+	// the gate has quiesced (no tracked enqueue can land anymore), any
+	// dequeuer's empty observation of shard s is final — shard
+	// emptiness is then monotone — so each first miss per shard is
+	// recorded here, by whichever consumer makes it. drainLeft == 0
+	// proves every shard was seen empty after quiescence: the queue is
+	// drained. A per-consumer consecutive-miss count cannot serve: two
+	// drainers alternating tickets each only ever visit half the
+	// residues.
+	drainMissed []atomic.Bool
+	drainLeft   atomic.Int32
 }
 
 // New builds a frontend of nshards uniform shards, each a core queue for
@@ -92,7 +111,14 @@ func NewOf[T any](nthreads int, shards []Shard[T]) *Queue[T] {
 	if nthreads <= 0 {
 		panic("sharded: nthreads must be positive")
 	}
-	return &Queue[T]{shards: shards, nthreads: nthreads}
+	q := &Queue[T]{
+		shards:      shards,
+		nthreads:    nthreads,
+		gate:        waiter.NewGate(nthreads),
+		drainMissed: make([]atomic.Bool, len(shards)),
+	}
+	q.drainLeft.Store(int32(len(shards)))
+	return q
 }
 
 // NumThreads reports the frontend's concurrency bound.
@@ -134,12 +160,21 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 
 // DequeueTicket is Dequeue returning the dispatch ticket it consumed.
 func (q *Queue[T]) DequeueTicket(tid int) (v T, ok bool, ticket uint64) {
+	// The quiescence license is read BEFORE the probe: a miss may only
+	// mark the drain mask if no tracked enqueue could land after the
+	// license was granted — a miss observed earlier could be
+	// invalidated by a late in-flight enqueue. (One atomic load; the
+	// mask write itself happens only on post-close misses.)
+	quiesced := q.gate.Quiesced()
 	t := q.deqT.Add(1) - 1
 	shard := t % uint64(len(q.shards))
 	yield.At(yield.SHDeqTicket, tid, int(shard))
 	v, ok = q.shards[shard].Dequeue(tid)
 	if !ok {
 		q.emptyClaims.Add(1)
+		if quiesced {
+			q.markDrained(int(shard))
+		}
 	}
 	return v, ok, t
 }
@@ -223,6 +258,7 @@ func (q *Queue[T]) DequeueBatch(tid int, dst []T) (n int) {
 	if k == 0 {
 		return 0
 	}
+	quiesced := q.gate.Quiesced() // see DequeueTicket: license precedes probes
 	t := q.deqT.Add(k) - k
 	for i := uint64(0); i < k; i++ {
 		shard := (t + i) % uint64(len(q.shards))
@@ -232,6 +268,9 @@ func (q *Queue[T]) DequeueBatch(tid int, dst []T) (n int) {
 			n++
 		} else {
 			q.emptyClaims.Add(1)
+			if quiesced {
+				q.markDrained(int(shard))
+			}
 		}
 	}
 	return n

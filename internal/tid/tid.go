@@ -16,6 +16,7 @@ package tid
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"wfq/internal/renaming"
 )
@@ -27,12 +28,21 @@ var ErrExhausted = errors.New("tid: name space exhausted; raise the queue's thre
 // Registry hands out virtual thread IDs in [0, Capacity()).
 type Registry struct {
 	ns *renaming.Namespace
+	// gens counts the leases of each ID. Because the same dense ID is
+	// reused across leases, anything keyed by bare ID (a parked waiter,
+	// a cached identity) can outlive its lease and collide with the
+	// next holder's; the (id, generation) pair is unique per lease, and
+	// Handle.Valid distinguishes "my lease" from "the id's current
+	// lease". The counter is bumped BEFORE the ID returns to the
+	// namespace, so a Valid() == true observation means no release has
+	// even begun.
+	gens []atomic.Uint64
 }
 
 // NewRegistry creates a registry with n virtual IDs — use the same n as
 // the queue's thread bound.
 func NewRegistry(n int) *Registry {
-	return &Registry{ns: renaming.New(n)}
+	return &Registry{ns: renaming.New(n), gens: make([]atomic.Uint64, n)}
 }
 
 // Capacity reports the size of the ID space.
@@ -49,23 +59,42 @@ func (r *Registry) Acquire() (Handle, error) {
 	if !ok {
 		return Handle{}, ErrExhausted
 	}
-	return Handle{id: id, reg: r}, nil
+	return Handle{id: id, gen: r.gens[id].Load(), reg: r}, nil
 }
 
-// Handle is a claimed virtual thread ID.
+// Handle is a claimed virtual thread ID: the (id, generation) pair
+// naming one particular lease of the id.
 type Handle struct {
 	id  int
+	gen uint64
 	reg *Registry
 }
 
 // TID returns the dense thread id to pass to queue operations.
 func (h Handle) TID() int { return h.id }
 
+// Gen returns the lease generation (diagnostics).
+func (h Handle) Gen() uint64 { return h.gen }
+
+// Valid reports whether this lease is still the id's current one —
+// false as soon as Release begins, and forever after. A zero Handle is
+// invalid.
+func (h Handle) Valid() bool {
+	return h.reg != nil && h.reg.gens[h.id].Load() == h.gen
+}
+
 // Release returns the ID to the registry. The Handle must not be used
 // afterwards. Releasing a zero or already-released Handle panics.
+// The generation is bumped before the id re-enters the namespace, so
+// by the time another goroutine can lease this id, every observer of
+// the old lease sees Valid() == false.
 func (h Handle) Release() {
 	if h.reg == nil {
 		panic("tid: Release of zero Handle")
 	}
+	if h.reg.gens[h.id].Load() != h.gen {
+		panic("tid: Release of stale Handle (already released)")
+	}
+	h.reg.gens[h.id].Add(1)
 	h.reg.ns.Release(h.id)
 }

@@ -87,3 +87,57 @@ func TestConcurrentDistinctTIDs(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestGenerationsDistinguishLeases(t *testing.T) {
+	r := NewRegistry(1)
+	h1, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.Valid() {
+		t.Fatal("fresh handle invalid")
+	}
+	h1.Release()
+	if h1.Valid() {
+		t.Fatal("released handle still valid")
+	}
+	h2, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TID() != h1.TID() {
+		t.Fatalf("expected id reuse, got %d then %d", h1.TID(), h2.TID())
+	}
+	if h1.Valid() {
+		t.Fatal("old lease validated against the new generation")
+	}
+	if !h2.Valid() {
+		t.Fatal("new lease invalid")
+	}
+	if h1.Gen() == h2.Gen() {
+		t.Fatalf("generations collide: %d", h1.Gen())
+	}
+	h2.Release()
+}
+
+func TestStaleHandleReleasePanics(t *testing.T) {
+	r := NewRegistry(1)
+	h, err := r.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double release")
+		}
+	}()
+	h.Release()
+}
+
+func TestZeroHandleInvalid(t *testing.T) {
+	var h Handle
+	if h.Valid() {
+		t.Fatal("zero handle reports valid")
+	}
+}

@@ -1,0 +1,267 @@
+package waiter
+
+import (
+	"context"
+	"runtime"
+
+	"wfq/internal/yield"
+)
+
+// DefaultSpin is the bounded number of direct dequeue attempts a
+// blocking consumer makes before it starts the registration/park
+// protocol — the same "bounded optimism before the heavyweight path"
+// shape as the fast-path engine's patience.
+const DefaultSpin = 8
+
+// Gate bundles the two halves of the blocking layer — the parking
+// primitive and the close/drain lifecycle — into the single object a
+// queue frontend embeds. One Gate serves the whole queue (sharded
+// frontends share one across shards: dequeue tickets roam all residues,
+// so a per-shard waiter set could strand a consumer on a shard no
+// element will reach).
+type Gate struct {
+	ec EventCount
+	lc Lifecycle
+}
+
+// NewGate builds a gate for a queue with tids in [0, nthreads).
+func NewGate(nthreads int) *Gate {
+	g := &Gate{}
+	g.lc.init(nthreads)
+	return g
+}
+
+// Enter begins a tracked enqueue; false means the queue is closed.
+func (g *Gate) Enter(tid int) bool { return g.lc.Enter(tid) }
+
+// Exit ends a tracked enqueue (element visible).
+func (g *Gate) Exit(tid int) { g.lc.Exit(tid) }
+
+// Notify wakes waiters after an element became visible; one atomic load
+// when nobody waits.
+func (g *Gate) Notify(tid int) { g.ec.Notify(tid) }
+
+// Broadcast unconditionally wakes all waiters (Handle.Release uses it
+// so a stale parked waiter re-examines its lease promptly).
+func (g *Gate) Broadcast() { g.ec.Broadcast() }
+
+// Closed reports whether Close has begun.
+func (g *Gate) Closed() bool { return g.lc.Closed() }
+
+// Quiesced reports whether Close has observed enqueue quiescence.
+func (g *Gate) Quiesced() bool { return g.lc.Quiesced() }
+
+// Close transitions the queue to closed: subsequent tracked enqueues
+// fail with ErrClosed, parked waiters are woken, and Close returns only
+// after every tracked enqueue that entered before the flag has
+// finished — so the element set is fixed when it returns, and a
+// dequeuer's later empty observation is final. The first call returns
+// nil; later calls return ErrClosed immediately (possibly before the
+// first closer finished quiescing).
+//
+// Only TRACKED enqueues (the Try* paths, and everything built on them)
+// participate in the handshake: a caller mixing Close with the plain
+// untracked Enqueue paths must itself ensure those calls finished.
+func (g *Gate) Close() error {
+	if !g.lc.beginClose() {
+		return ErrClosed
+	}
+	yield.At(yield.WQCloseBroadcast, -1, -1)
+	g.ec.Broadcast()
+	g.lc.awaitQuiesce()
+	return nil
+}
+
+// EC exposes the parking primitive (tests and diagnostics).
+func (g *Gate) EC() *EventCount { return &g.ec }
+
+// Source is the queue view the generic blocking loops consume: the
+// non-blocking dequeue plus the emptiness-finality test.
+type Source[T any] interface {
+	// Dequeue is the underlying non-blocking dequeue.
+	Dequeue(tid int) (v T, ok bool)
+	// Drained reports whether an empty Dequeue observation, made after
+	// the gate quiesced, proves the queue holds nothing more. A single
+	// FIFO returns true unconditionally — its empty result linearizes
+	// as genuine emptiness, which closure makes permanent. A sharded
+	// frontend returns true only once post-quiescence misses have
+	// covered every shard residue.
+	Drained() bool
+}
+
+// BatchSource is Source for frontends with a first-class DequeueBatch.
+type BatchSource[T any] interface {
+	Source[T]
+	DequeueBatch(tid int, dst []T) int
+}
+
+// Liveness lets a caller identity (a leased Handle) veto further
+// blocking: Err is checked at the top of every blocking-loop iteration
+// — in particular right after every wakeup, before the queue is touched
+// — so a waiter parked under a released lease returns the lease's error
+// instead of acting on wakeups meant for the lease's next holder.
+type Liveness interface {
+	Err() error
+}
+
+// DequeueCtx is the blocking dequeue every frontend wires up: up to
+// spin direct attempts (the wait-free fast path — on the non-empty path
+// this returns without ever touching the eventcount), then the
+// register → recheck → park protocol until an element, closure-drain,
+// ctx end, or liveness failure decides it. alive may be nil.
+//
+// cycle is the number of post-registration recheck probes; it must be
+// at least the number of dispatch residues a probe can land on (1 for a
+// single FIFO, Shards() for the sharded frontend) — the lost-wakeup
+// argument needs every parking consumer to have probed a full residue
+// window after registering.
+func DequeueCtx[T any](ctx context.Context, g *Gate, q Source[T], alive Liveness, tid, spin, cycle int) (T, error) {
+	var zero T
+	if spin <= 0 {
+		spin = DefaultSpin
+	}
+	if cycle <= 0 {
+		cycle = 1
+	}
+	for {
+		if alive != nil {
+			if err := alive.Err(); err != nil {
+				return zero, err
+			}
+		}
+		// Fast path: bounded direct attempts. An available element wins
+		// over an already-expired ctx — the element is there; take it.
+		for i := 0; i < spin; i++ {
+			if v, ok := q.Dequeue(tid); ok {
+				return v, nil
+			}
+			if g.lc.Closed() {
+				return drain(ctx, g, q, tid)
+			}
+			runtime.Gosched()
+		}
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		// Slow path: register, then recheck — an element published
+		// before our registration became visible must be caught here;
+		// one published after it will bump the sequence and void the key.
+		key := g.ec.Register()
+		yield.At(yield.WQPrepare, tid, -1)
+		for i := 0; i < cycle; i++ {
+			if v, ok := q.Dequeue(tid); ok {
+				g.ec.Unregister()
+				return v, nil
+			}
+		}
+		if g.lc.Closed() {
+			g.ec.Unregister()
+			return drain(ctx, g, q, tid)
+		}
+		if err := g.ec.Wait(ctx, key, tid); err != nil {
+			return zero, err
+		}
+	}
+}
+
+// DequeueBatchCtx is DequeueCtx moving elements in groups: it blocks
+// until at least one element is obtained (n > 0 implies err == nil),
+// the queue closes and drains (0, ErrClosed), ctx ends, or the liveness
+// fails. A recheck makes enough DequeueBatch calls to cover at least
+// cycle probes.
+func DequeueBatchCtx[T any](ctx context.Context, g *Gate, q BatchSource[T], alive Liveness, tid, spin, cycle int, dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if spin <= 0 {
+		spin = DefaultSpin
+	}
+	if cycle <= 0 {
+		cycle = 1
+	}
+	recheck := (cycle + len(dst) - 1) / len(dst)
+	if recheck < 1 {
+		recheck = 1
+	}
+	for {
+		if alive != nil {
+			if err := alive.Err(); err != nil {
+				return 0, err
+			}
+		}
+		for i := 0; i < spin; i++ {
+			if n := q.DequeueBatch(tid, dst); n > 0 {
+				return n, nil
+			}
+			if g.lc.Closed() {
+				return drainBatch(ctx, g, q, tid, dst)
+			}
+			runtime.Gosched()
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		key := g.ec.Register()
+		yield.At(yield.WQPrepare, tid, -1)
+		for i := 0; i < recheck; i++ {
+			if n := q.DequeueBatch(tid, dst); n > 0 {
+				g.ec.Unregister()
+				return n, nil
+			}
+		}
+		if g.lc.Closed() {
+			g.ec.Unregister()
+			return drainBatch(ctx, g, q, tid, dst)
+		}
+		if err := g.ec.Wait(ctx, key, tid); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// drain is the closed-queue endgame: wait for enqueue quiescence (the
+// closer is still collecting in-flight enqueues until then), then keep
+// probing until an element appears or emptiness is proven final.
+// Elements remain dequeuable after Close; only a provably drained queue
+// returns ErrClosed.
+func drain[T any](ctx context.Context, g *Gate, q Source[T], tid int) (T, error) {
+	var zero T
+	awaitQuiesced(g)
+	for {
+		if v, ok := q.Dequeue(tid); ok {
+			return v, nil
+		}
+		if q.Drained() {
+			return zero, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		runtime.Gosched()
+	}
+}
+
+func drainBatch[T any](ctx context.Context, g *Gate, q BatchSource[T], tid int, dst []T) (int, error) {
+	awaitQuiesced(g)
+	for {
+		if n := q.DequeueBatch(tid, dst); n > 0 {
+			return n, nil
+		}
+		if q.Drained() {
+			return 0, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		runtime.Gosched()
+	}
+}
+
+// awaitQuiesced spins until the closer published quiescence. Each spin
+// is bounded by the tail of one non-blocking enqueue call, so this is
+// short; it cannot park because no notify is promised for it.
+func awaitQuiesced(g *Gate) {
+	for !g.lc.Quiesced() {
+		runtime.Gosched()
+	}
+}

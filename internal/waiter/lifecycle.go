@@ -1,0 +1,99 @@
+package waiter
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrClosed reports an operation on a closed queue: an enqueue after
+// Close, or a dequeue after Close once every pending element has been
+// drained.
+var ErrClosed = errors.New("wfq: queue closed")
+
+// flag is one thread's in-flight indicator, padded so enqueuers on
+// different tids do not false-share during the Enter/Exit pair.
+type flag struct {
+	v atomic.Int32
+	_ [sepBytes - 4]byte
+}
+
+// Lifecycle tracks the open→closed→quiesced progression of a queue and
+// the set of in-flight tracked enqueues, giving Close its linearizable
+// close-after-drain semantics:
+//
+//   - an enqueue that Enters after the closed flag is set fails without
+//     touching the queue;
+//   - Close waits until every enqueue that Entered before the flag was
+//     set has Exited (quiescence), so when Close returns, the set of
+//     elements that will ever be in the queue is fixed;
+//   - only after quiescence may a dequeuer's empty observation be
+//     promoted to "drained, ErrClosed" — before it, a late in-flight
+//     enqueue could still land.
+//
+// The Enter/Close handshake is the store-buffering (Dekker) pattern:
+// Enter stores its in-flight flag and THEN loads closed; Close stores
+// closed and THEN loads the in-flight flags. Under sequentially
+// consistent atomics (Go's sync/atomic) at least one of the two
+// observes the other, so an enqueue either aborts or is awaited — never
+// neither.
+type Lifecycle struct {
+	closed atomic.Bool
+	_      [sepBytes - 1]byte
+	// quiesced becomes true once Close has observed every tracked
+	// enqueue finished. It is the license dequeuers need to treat empty
+	// observations as final.
+	quiesced atomic.Bool
+	_        [sepBytes - 1]byte
+	inflight []flag
+}
+
+// initLifecycle sizes the in-flight flag array for nthreads tids.
+func (l *Lifecycle) init(nthreads int) {
+	l.inflight = make([]flag, nthreads)
+}
+
+// Enter marks tid's enqueue in flight and reports whether it may
+// proceed; false means the queue is closed and nothing was published.
+// Every true return must be balanced by Exit after the element is
+// visible.
+func (l *Lifecycle) Enter(tid int) bool {
+	l.inflight[tid].v.Store(1)
+	if l.closed.Load() {
+		l.inflight[tid].v.Store(0)
+		return false
+	}
+	return true
+}
+
+// Exit marks tid's enqueue finished. Call after the element's
+// linearizing CAS — from here on, Close no longer waits for it.
+func (l *Lifecycle) Exit(tid int) {
+	l.inflight[tid].v.Store(0)
+}
+
+// Closed reports whether Close has begun.
+func (l *Lifecycle) Closed() bool { return l.closed.Load() }
+
+// Quiesced reports whether Close has additionally observed all tracked
+// enqueues finished.
+func (l *Lifecycle) Quiesced() bool { return l.quiesced.Load() }
+
+// beginClose sets the closed flag; false means another closer got
+// there first.
+func (l *Lifecycle) beginClose() bool {
+	return !l.closed.Swap(true)
+}
+
+// awaitQuiesce blocks until every in-flight tracked enqueue has Exited,
+// then publishes quiescence. Each wait is bounded by the remainder of
+// one enqueue call (enqueues are non-blocking), so this terminates as
+// long as the scheduler runs every thread.
+func (l *Lifecycle) awaitQuiesce() {
+	for i := range l.inflight {
+		for l.inflight[i].v.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	l.quiesced.Store(true)
+}

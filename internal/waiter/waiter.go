@@ -1,0 +1,162 @@
+// Package waiter is the blocking and lifecycle layer over the repo's
+// non-blocking queues: an eventcount-style parking primitive whose fast
+// path is wait-free, plus linearizable Close/drain semantics and the
+// generic bounded-spin-then-park dequeue loops every frontend shares.
+//
+// # Why an eventcount
+//
+// The KP queue (and every other queue here) is non-blocking by
+// construction: an empty deq() returns immediately. A consumer that
+// wants to SLEEP on empty needs a separate wait/notify protocol, and the
+// classic lost-wakeup hazard sits exactly in the gap between "I probed
+// and found nothing" and "I am parked": an element enqueued in that gap
+// must still wake the consumer. The eventcount closes the gap with a
+// three-step consumer protocol —
+//
+//	register (waiters++)  →  key := seq  →  recheck the queue  →  park
+//
+// — paired with a producer that makes its element visible FIRST and only
+// then checks for waiters and bumps seq. Interleave them any way you
+// like: either the consumer's recheck sees the element, or the
+// producer's waiter-probe sees the registration and its seq bump
+// invalidates the consumer's key, so Wait returns without parking. The
+// argument is the store-buffering (Dekker) pattern; Go's sync/atomic
+// operations are sequentially consistent, which is exactly the fence
+// strength it needs.
+//
+// # Progress
+//
+// The producer side is wait-free: one atomic load when no waiter is
+// registered (the common case), one mutex-guarded broadcast when one is.
+// The consumer's FAST path — element available — is the underlying
+// queue's own wait-free dequeue plus one atomic sequence load; only the
+// slow path (provably empty queue) parks, and blocking-on-empty is not a
+// progress violation: wait-freedom bounds the steps of operations, and
+// an operation whose specification says "wait for an element" has
+// nothing to complete until one arrives. See ALGORITHM.md, "Blocking and
+// termination".
+package waiter
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"wfq/internal/yield"
+)
+
+// sepBytes matches internal/core's false-sharing unit (two cache lines,
+// for the adjacent-line prefetcher).
+const sepBytes = 128
+
+// EventCount is the parking primitive: a sequence number producers bump
+// when they publish work, a waiter count producers probe to skip the
+// broadcast entirely when nobody sleeps, and a broadcast channel
+// replaced wholesale on every wake (the close-and-replace idiom, so a
+// single notify wakes every current waiter and is never "used up" by a
+// stale one).
+type EventCount struct {
+	// seq counts notifications. A consumer snapshots it (the "key")
+	// before its final empty recheck; Wait refuses to park if seq moved,
+	// because the move may be the wakeup for an element the recheck
+	// missed.
+	seq atomic.Uint64
+	_   [sepBytes - 8]byte
+	// waiters counts registered consumers. Producers load it after
+	// publishing; zero means no one can be between register and park, so
+	// the notify is skipped — this keeps the uncontended enqueue cost at
+	// one atomic load.
+	waiters atomic.Int32
+	_       [sepBytes - 4]byte
+
+	mu sync.Mutex
+	ch chan struct{} // current epoch's broadcast channel (lazily made)
+}
+
+// Register announces the caller as a waiter and returns the wait key.
+// The caller MUST recheck the queue after Register returns and before
+// Wait: the key is only as old as this call, and producers only promise
+// to wake waiters registered before their element became visible.
+// Every Register must be balanced by exactly one Unregister or Wait.
+func (e *EventCount) Register() (key uint64) {
+	e.waiters.Add(1)
+	return e.seq.Load()
+}
+
+// Unregister withdraws a registration without waiting (the recheck found
+// an element, or the caller is giving up for another reason).
+func (e *EventCount) Unregister() {
+	e.waiters.Add(-1)
+}
+
+// Wait parks the caller until a notification newer than key arrives, ctx
+// is done, or the registration is consumed by a concurrent broadcast.
+// It returns ctx.Err() if ctx ended the wait, nil otherwise. Wait
+// consumes the registration in all cases.
+func (e *EventCount) Wait(ctx context.Context, key uint64, tid int) error {
+	e.mu.Lock()
+	if e.seq.Load() != key {
+		// A notify landed between the key snapshot and here — it may be
+		// the wakeup for an element the caller's recheck missed, so do
+		// not park; the caller re-probes.
+		e.mu.Unlock()
+		e.waiters.Add(-1)
+		return nil
+	}
+	if e.ch == nil {
+		e.ch = make(chan struct{})
+	}
+	ch := e.ch
+	e.mu.Unlock()
+
+	yield.At(yield.WQBeforePark, tid, -1)
+	select {
+	case <-ch:
+		e.waiters.Add(-1)
+		yield.At(yield.WQAfterWake, tid, -1)
+		return nil
+	case <-ctx.Done():
+		e.waiters.Add(-1)
+		yield.At(yield.WQAfterWake, tid, -1)
+		return ctx.Err()
+	}
+}
+
+// Notify wakes all current waiters if any are registered. Producers call
+// it AFTER their element is visible (after the linearizing CAS); the
+// publish-then-probe order is what makes the no-waiter fast path sound.
+// Cost with no waiter: one atomic load.
+func (e *EventCount) Notify(tid int) {
+	if e.waiters.Load() == 0 {
+		return
+	}
+	yield.At(yield.WQNotify, tid, -1)
+	e.broadcast()
+}
+
+// Broadcast unconditionally wakes all current waiters (Close uses it:
+// the closed flag, unlike an element, cannot be "re-observed" by a
+// later prober counting on a second notify).
+func (e *EventCount) Broadcast() {
+	e.broadcast()
+}
+
+// broadcast bumps seq and retires the current epoch channel. The bump
+// and the channel close happen under mu — the same lock Wait holds while
+// deciding to park — so a waiter either sees the new seq (and refuses to
+// park) or captured the channel this close is about to signal.
+func (e *EventCount) broadcast() {
+	e.mu.Lock()
+	e.seq.Add(1)
+	if e.ch != nil {
+		close(e.ch)
+		e.ch = nil
+	}
+	e.mu.Unlock()
+}
+
+// Seq exposes the notification counter (tests and diagnostics).
+func (e *EventCount) Seq() uint64 { return e.seq.Load() }
+
+// Waiters exposes the registered-waiter count (tests and diagnostics).
+func (e *EventCount) Waiters() int { return int(e.waiters.Load()) }

@@ -109,6 +109,28 @@ const (
 	// residue may overtake it inside the shard. owner is the shard
 	// index.
 	SHDeqTicket
+	// WQPrepare fires in the blocking dequeue loop (internal/waiter)
+	// after the consumer registered as a waiter and read its wait key,
+	// before the post-registration recheck — the window in which a
+	// concurrent enqueue-notify must be observed either by the recheck
+	// or by the sequence bump.
+	WQPrepare
+	// WQBeforePark fires immediately before the consumer commits to the
+	// channel select that parks it — after the under-lock sequence
+	// recheck passed. A notify arriving here must still wake it (via the
+	// captured epoch channel).
+	WQBeforePark
+	// WQAfterWake fires right after a parked consumer is woken (by a
+	// notify broadcast, close, or ctx cancellation), before it re-probes
+	// the queue.
+	WQAfterWake
+	// WQNotify fires in the enqueue path after the element is visible
+	// (the linearizing CAS succeeded) and after the waiter-presence
+	// probe, just before/at the conditional wake. owner is -1.
+	WQNotify
+	// WQCloseBroadcast fires inside Close after the closed flag is set,
+	// before the broadcast that wakes all parked waiters.
+	WQCloseBroadcast
 	numPoints int = iota
 )
 
@@ -123,6 +145,7 @@ var pointNames = [numPoints]string{
 	"KPChainAfterAppend", "KPChainBeforeSwing",
 	"MSBeforeAppend", "MSBeforeHeadCAS",
 	"SHEnqTicket", "SHDeqTicket",
+	"WQPrepare", "WQBeforePark", "WQAfterWake", "WQNotify", "WQCloseBroadcast",
 }
 
 // String returns the symbolic name of the point.

@@ -7,6 +7,12 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/core/ ./internal/hazard/ ./internal/sharded/
+# Blocking stress under the race detector: the parking layer's lost-
+# wakeup and close/drain interleavings (internal/waiter), plus the
+# facade-level choreographed races and the concurrent close-drain
+# conservation test (root package).
+go test -race ./internal/waiter/
+go test -race -run 'TestEnqueueNotifyRacesChainSwing|TestCloseDrainConcurrent|TestHandleGenerationRegression' .
 # Fuzz smoke: short randomized differentials against the sequential
 # specification — the sharded frontend, and the core batch operations
 # (regression corpora run in `go test` above; these probe fresh inputs).

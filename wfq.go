@@ -58,6 +58,7 @@ import (
 	"wfq/internal/core"
 	"wfq/internal/sharded"
 	"wfq/internal/tid"
+	"wfq/internal/waiter"
 )
 
 // Variant selects the algorithm flavour; see the package documentation.
@@ -149,6 +150,16 @@ type Queue[T any] struct {
 	q   backend[T]
 	sh  *sharded.Queue[T] // non-nil iff the backend is sharded
 	reg *tid.Registry
+
+	// Blocking/lifecycle plumbing (see blocking.go): the gate is the
+	// queue's waiter set + close state (the sharded frontend's own gate
+	// when sharded, so its drain mask sees the close); src is the
+	// waiter.Source view of the backend; cycle is the residue-coverage
+	// bound of the park-loop recheck (Shards() probes on a sharded
+	// queue, 1 otherwise).
+	g     *waiter.Gate
+	src   waiter.BatchSource[T]
+	cycle int
 }
 
 // New creates a queue supporting up to maxThreads concurrently operating
@@ -161,8 +172,14 @@ func New[T any](maxThreads int, opts ...Option) *Queue[T] {
 	if n := core.ShardsOf(all...); n > 1 {
 		q.sh = sharded.New[T](maxThreads, n, all...)
 		q.q = q.sh
+		q.g = q.sh.Gate()
+		q.src = q.sh
+		q.cycle = q.sh.Shards()
 	} else {
 		q.q = core.New[T](maxThreads, all...)
+		q.g = waiter.NewGate(maxThreads)
+		q.src = singleSource[T]{q: q.q}
+		q.cycle = 1
 	}
 	return q
 }
@@ -180,8 +197,14 @@ func (q *Queue[T]) Shards() int {
 
 // Enqueue inserts v at the tail on behalf of thread tid. tid must be in
 // [0, MaxThreads()) and must not be used concurrently by another
-// goroutine (use Handle for automatic management).
-func (q *Queue[T]) Enqueue(tid int, v T) { q.q.Enqueue(tid, v) }
+// goroutine (use Handle for automatic management). Enqueue on a closed
+// queue panics, like a send on a closed channel; use TryEnqueue when
+// racing Close is expected.
+func (q *Queue[T]) Enqueue(tid int, v T) {
+	if err := q.TryEnqueue(tid, v); err != nil {
+		panic("wfq: Enqueue on closed queue")
+	}
+}
 
 // Dequeue removes and returns the oldest element on behalf of thread tid.
 // ok is false when the queue was empty at the operation's linearization
@@ -203,7 +226,16 @@ type batcher[T any] interface {
 // the batch costs one dispatch ticket fetch-and-add, fans out round-
 // robin over consecutive tickets, and each shard's portion is appended
 // as one chain; contiguity then holds within each shard's FIFO.
+// Like Enqueue, it panics on a closed queue; use TryEnqueueBatch when
+// racing Close is expected.
 func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
+	if err := q.TryEnqueueBatch(tid, vs); err != nil {
+		panic("wfq: EnqueueBatch on closed queue")
+	}
+}
+
+// enqueueBatch is the untracked batch append (see TryEnqueueBatch).
+func (q *Queue[T]) enqueueBatch(tid int, vs []T) {
 	if q.sh != nil {
 		q.sh.EnqueueBatch(tid, vs)
 		return
@@ -293,7 +325,16 @@ func (h *Handle[T]) EnqueueBatch(vs []T) { h.q.EnqueueBatch(h.h.TID(), vs) }
 func (h *Handle[T]) DequeueBatch(dst []T) int { return h.q.DequeueBatch(h.h.TID(), dst) }
 
 // Release returns the leased id. The Handle must not be used afterwards.
-func (h *Handle[T]) Release() { h.h.Release() }
+// The lease's generation is retired before the id re-enters the
+// namespace and the queue's waiter set is then broadcast, so a waiter
+// still parked under this lease (a DequeueCtx in flight on another
+// goroutine — itself a misuse, but one this layer contains) wakes,
+// fails its liveness check, and returns ErrReleased instead of
+// consuming wakeups addressed to the id's next holder.
+func (h *Handle[T]) Release() {
+	h.h.Release()
+	h.q.g.Broadcast()
+}
 
 // HPQueue is the hazard-pointer variant of the queue (§3.4 of the paper):
 // nodes are recycled through per-thread pools instead of being left to
@@ -302,16 +343,21 @@ func (h *Handle[T]) Release() { h.h.Release() }
 type HPQueue[T any] struct {
 	q   *core.HPQueue[T]
 	reg *tid.Registry
+	g   *waiter.Gate
+	src waiter.BatchSource[T]
 }
 
 // NewHP creates a hazard-pointer-backed queue for up to maxThreads
 // threads. poolCap bounds each thread's node free list (0 selects the
 // default). Of the options, WithFastPath and WithArena are honoured.
 func NewHP[T any](maxThreads, poolCap int, opts ...Option) *HPQueue[T] {
-	return &HPQueue[T]{
+	q := &HPQueue[T]{
 		q:   core.NewHP[T](maxThreads, poolCap, 0, opts...),
 		reg: tid.NewRegistry(maxThreads),
+		g:   waiter.NewGate(maxThreads),
 	}
+	q.src = singleSource[T]{q: q.q}
+	return q
 }
 
 // MaxThreads reports the queue's concurrency bound.
