@@ -53,9 +53,7 @@ func TestEnqueueNotifyRacesChainSwing(t *testing.T) {
 			vals <- v
 		}
 	}()
-	for q.g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiters(t, q.g.EC(), 1)
 
 	arrived, release, undo := stallAtPoint(yield.KPChainBeforeSwing)
 	defer undo()

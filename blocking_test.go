@@ -3,14 +3,40 @@ package wfq
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"wfq/internal/lincheck"
+	"wfq/internal/waiter"
 	"wfq/internal/xrand"
 )
+
+// waitFor spins until cond holds, failing the test after a generous
+// deadline — the deterministic replacement for flat sleeps in the
+// blocking tests (a sleep that is "usually long enough" flakes on a
+// loaded CI machine; a condition probe cannot).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(30 * time.Second); !cond(); {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}
+
+// awaitWaiters blocks until the eventcount reports at least n registered
+// waiters. Registration (EventCount.Register) happens before the park
+// and is the event the no-lost-wakeup protocol keys on, so this is
+// exactly the producer-side rendezvous the wake tests need — no timing
+// assumption about when the goroutine physically parks.
+func awaitWaiters(t *testing.T, ec *waiter.EventCount, n int) {
+	t.Helper()
+	waitFor(t, "consumer to register as a waiter", func() bool { return ec.Waiters() >= n })
+}
 
 func TestCloseSemantics(t *testing.T) {
 	q := New[int](4)
@@ -63,7 +89,7 @@ func TestDequeueCtxCancellationAndDeadline(t *testing.T) {
 		_, err := q.DequeueCtx(ctx, 0)
 		done <- err
 	}()
-	time.Sleep(20 * time.Millisecond) // let it park
+	awaitWaiters(t, q.g.EC(), 1)
 	cancel()
 	select {
 	case err := <-done:
@@ -92,9 +118,7 @@ func TestDequeueCtxWakesOnEnqueue(t *testing.T) {
 			}
 			got <- v
 		}()
-		for q.g.EC().Waiters() == 0 {
-			time.Sleep(time.Millisecond)
-		}
+		awaitWaiters(t, q.g.EC(), 1)
 		if err := q.TryEnqueue(1, 42); err != nil {
 			t.Fatal(err)
 		}
@@ -120,9 +144,7 @@ func TestDequeueBatchCtx(t *testing.T) {
 		}
 		done <- n
 	}()
-	for q.g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiters(t, q.g.EC(), 1)
 	if err := q.TryEnqueueBatch(1, []int{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
@@ -158,9 +180,7 @@ func TestHPQueueBlocking(t *testing.T) {
 		}
 		got <- v
 	}()
-	for q.g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiters(t, q.g.EC(), 1)
 	if err := q.TryEnqueue(1, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +254,12 @@ func TestCloseDrainConcurrent(t *testing.T) {
 				}
 			}(producers + c)
 		}
-		time.Sleep(50 * time.Millisecond)
+		// Close only once the run demonstrably has live traffic on both
+		// sides (was a flat 50ms sleep, which proved nothing on a slow
+		// machine and wasted time on a fast one).
+		waitFor(t, "pre-close churn", func() bool {
+			return accepted.Load() >= 500 && delivered.Load() >= 1
+		})
 		// Close races the producers: they stop via ErrClosed.
 		close(stop)
 		if err := q.Close(); err != nil {
@@ -268,9 +293,7 @@ func TestHandleGenerationRegression(t *testing.T) {
 		_, err := h1.DequeueCtx(context.Background())
 		res <- err
 	}()
-	for q.g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiters(t, q.g.EC(), 1)
 	// The misuse under test: the lease is released while its waiter is
 	// still parked on another goroutine.
 	h1.Release()
@@ -309,9 +332,7 @@ func TestHandleGenerationRegression(t *testing.T) {
 		}
 		got <- v
 	}()
-	for q.g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiters(t, q.g.EC(), 1)
 	if err := prod.TryEnqueue(77); err != nil {
 		t.Fatal(err)
 	}

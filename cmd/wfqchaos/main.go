@@ -1,0 +1,141 @@
+// Command wfqchaos runs the stall-injection antagonist and wait-freedom
+// watchdog (internal/chaos) against every queue frontend and reports
+// worst-case per-operation steps and latency tails per adversary
+// profile.
+//
+// Usage:
+//
+//	wfqchaos [-scenarios core-gc,core-fast,core-hp,sharded,blocking]
+//	         [-profiles single-stall,rolling-stall,permanent-kill]
+//	         [-threads N] [-ops N] [-seed S] [-deadline D]
+//	         [-quick] [-json FILE]
+//
+// Each (scenario, profile) cell runs one chaos workload: seeded victim
+// threads are frozen or delayed at adversarially chosen instrumented
+// points while the watchdog asserts that every live thread's operations
+// stay within an explicit O(n²)-shaped step budget (see
+// chaos.StepBound) and that the whole run conserves elements and keeps
+// phases inside the §3.3 wrap-safe range. Any violation is printed with
+// its captured point trace and makes the process exit nonzero — so the
+// tool doubles as a CI gate (-quick keeps that run under a few
+// seconds).
+//
+// The -json report records, per cell: the enforced bound, the worst
+// observed steps (the measured wait-freedom margin), stall counts, and
+// max / p99.99 op latency under that adversary. EXPERIMENTS.md tracks
+// the committed snapshot under results/CHAOS.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"wfq/internal/chaos"
+)
+
+// report is the JSON document: the environment stamp plus one result
+// per (scenario, profile) cell.
+type report struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"num_cpu"`
+	Threads     int            `json:"threads"`
+	Ops         int            `json:"ops_per_thread"`
+	Seed        uint64         `json:"seed"`
+	Results     []chaos.Result `json:"results"`
+}
+
+func main() {
+	var (
+		scenarios = flag.String("scenarios", strings.Join(chaos.AllScenarios, ","),
+			"comma-separated scenario list")
+		profiles = flag.String("profiles", "single-stall,rolling-stall,permanent-kill",
+			"comma-separated adversary profile list")
+		threads  = flag.Int("threads", 8, "worker thread count")
+		ops      = flag.Int("ops", 2000, "operations per live thread")
+		seed     = flag.Uint64("seed", 1, "adversary + workload seed")
+		deadline = flag.Duration("deadline", 30*time.Second,
+			"liveness deadline per run phase")
+		quick = flag.Bool("quick", false,
+			"small fixed workload for CI smoke (overrides -ops)")
+		jsonPath = flag.String("json", "", "write the JSON report to FILE")
+	)
+	flag.Parse()
+	if *quick {
+		*ops = 300
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Threads:     *threads,
+		Ops:         *ops,
+		Seed:        *seed,
+	}
+
+	violations := 0
+	fmt.Printf("%-10s %-15s %8s %9s %7s %8s %12s %12s\n",
+		"scenario", "profile", "worst", "bound", "stalls", "victims", "max-lat", "p99.99-lat")
+	for _, sc := range strings.Split(*scenarios, ",") {
+		sc = strings.TrimSpace(sc)
+		if sc == "" {
+			continue
+		}
+		for _, pn := range strings.Split(*profiles, ",") {
+			pn = strings.TrimSpace(pn)
+			if pn == "" {
+				continue
+			}
+			prof, err := chaos.ProfileByName(pn)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wfqchaos:", err)
+				os.Exit(2)
+			}
+			res, err := chaos.Run(chaos.Config{
+				Scenario: sc, Profile: prof,
+				Threads: *threads, Ops: *ops, Seed: *seed,
+				Deadline: *deadline,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wfqchaos:", err)
+				os.Exit(2)
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-10s %-15s %8d %9d %7d %8s %12s %12s\n",
+				res.Scenario, res.Profile, res.WorstSteps, res.StepBound,
+				res.Stalls, fmt.Sprintf("%d/%d", res.FrozenVictims, len(res.Victims)),
+				time.Duration(res.MaxLatencyNs), time.Duration(res.P9999LatencyNs))
+			for _, v := range res.Violations {
+				violations++
+				fmt.Printf("  VIOLATION %v\n", v)
+				for _, e := range v.Trace {
+					fmt.Printf("    %v\n", e)
+				}
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfqchaos:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "wfqchaos: %d wait-freedom violation(s)\n", violations)
+		os.Exit(1)
+	}
+}

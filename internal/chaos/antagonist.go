@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"wfq/internal/xrand"
+	"wfq/internal/yield"
+)
+
+// maxDelaySpins bounds a rolling-stall delay when the rest of the
+// system generates no hook events to wait for (everyone else parked or
+// finished). Without this floor a delayed thread could spin forever on
+// a progress counter nobody is advancing — the antagonist must be
+// hostile to the queue, not to the test harness.
+const maxDelaySpins = 1 << 14
+
+// AntagonistConfig configures an adversary instance.
+type AntagonistConfig struct {
+	Profile Profile
+	// Threads is the workload's thread count; caller ids outside
+	// [0, Threads) are ignored (the blocking frontend's Close path
+	// reports caller -1).
+	Threads int
+	// Seed derives victim choice and every per-thread decision stream.
+	Seed uint64
+	// Target is the set of point classes the adversary acts at.
+	Target ClassSet
+	// Eligible lists the thread ids victims may be drawn from; nil
+	// means all threads. The blocking scenario restricts victims to
+	// consumers — freezing a producer inside the close gate's
+	// Enter/Exit window would block Close itself, which deadlocks the
+	// harness rather than exposing a queue bug.
+	Eligible []int
+	// NumVictims is how many victims to freeze (SingleStall and
+	// PermanentKill; RollingStall has no victims). 0 picks the
+	// profile default: 1 for SingleStall, max(1, Threads/4) for
+	// PermanentKill.
+	NumVictims int
+	// StallEvery: a rolling-stall delay is injected at a targeted
+	// point with probability 1/StallEvery (default 64).
+	StallEvery uint64
+	// StallEvents: each rolling-stall delay lasts until the global
+	// hook-event counter advances this much (default 256), i.e. "the
+	// victim stays off-CPU while the others execute ~StallEvents
+	// instrumented steps".
+	StallEvents uint64
+}
+
+// paddedRng keeps each thread's decision stream on its own cache line;
+// the stream is only ever touched by its own thread's hook calls.
+type paddedRng struct {
+	rng xrand.SplitMix64
+	_   [120]byte
+}
+
+// Antagonist injects stalls, delays, and permanent suspensions at
+// instrumented points according to a Profile. Install its Visit as (part
+// of) the yield hook. All methods are safe for concurrent use.
+type Antagonist struct {
+	cfg     AntagonistConfig
+	victim  []bool        // per tid: is a freeze victim
+	frozen  []atomic.Bool // per tid: freeze consumed (freeze at most once)
+	rngs    []paddedRng   // per tid: rolling-stall decision stream
+	release chan struct{} // closed by ReleaseAll; frees frozen victims
+	done    atomic.Bool   // mirrors release for cheap polling
+	events  atomic.Uint64 // global hook-event counter (progress clock)
+	stalls  atomic.Int64  // freezes + delays injected, for reporting
+}
+
+// NewAntagonist builds an adversary. Victim choice is deterministic in
+// (Seed, Threads, Eligible, NumVictims).
+func NewAntagonist(cfg AntagonistConfig) *Antagonist {
+	if cfg.StallEvery == 0 {
+		cfg.StallEvery = 64
+	}
+	if cfg.StallEvents == 0 {
+		cfg.StallEvents = 256
+	}
+	a := &Antagonist{
+		cfg:     cfg,
+		victim:  make([]bool, cfg.Threads),
+		frozen:  make([]atomic.Bool, cfg.Threads),
+		rngs:    make([]paddedRng, cfg.Threads),
+		release: make(chan struct{}),
+	}
+	for tid := range a.rngs {
+		// Distinct deterministic stream per thread: decision k of
+		// thread t depends only on (Seed, t, k), never on scheduling.
+		a.rngs[tid].rng = *xrand.NewSplitMix64(cfg.Seed ^ (uint64(tid)+1)*0x9e3779b97f4a7c15)
+	}
+	if cfg.Profile == SingleStall || cfg.Profile == PermanentKill {
+		eligible := cfg.Eligible
+		if eligible == nil {
+			eligible = make([]int, cfg.Threads)
+			for i := range eligible {
+				eligible[i] = i
+			}
+		}
+		n := cfg.NumVictims
+		if n == 0 {
+			if cfg.Profile == SingleStall {
+				n = 1
+			} else {
+				n = max(1, cfg.Threads/4)
+			}
+		}
+		n = min(n, len(eligible))
+		// Seeded partial Fisher–Yates over the eligible set.
+		pick := xrand.New(cfg.Seed)
+		pool := append([]int(nil), eligible...)
+		for i := 0; i < n; i++ {
+			j := i + pick.Intn(len(pool)-i)
+			pool[i], pool[j] = pool[j], pool[i]
+			a.victim[pool[i]] = true
+		}
+	}
+	return a
+}
+
+// Victims returns the frozen-victim thread ids, ascending (empty for
+// RollingStall).
+func (a *Antagonist) Victims() []int {
+	var out []int
+	for tid, v := range a.victim {
+		if v {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// IsVictim reports whether tid is a freeze victim.
+func (a *Antagonist) IsVictim(tid int) bool {
+	return tid >= 0 && tid < len(a.victim) && a.victim[tid]
+}
+
+// Stalls returns how many freezes and delays were injected.
+func (a *Antagonist) Stalls() int64 { return a.stalls.Load() }
+
+// FrozenVictims counts victims that have reached their freeze point
+// (the flag persists after release, so post-run it reads "were ever
+// frozen").
+func (a *Antagonist) FrozenVictims() int {
+	n := 0
+	for tid := range a.frozen {
+		if a.victim[tid] && a.frozen[tid].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// AwaitFrozen blocks until every victim is frozen, at most d, reporting
+// whether the rendezvous completed. The runner calls it after spawning
+// the workload and before any phase transition: without the rendezvous
+// a victim goroutine that the Go scheduler starts late can miss its
+// entire freeze window — the run still passes, but the adversary it
+// claims to have applied never actually happened. Victims freeze at
+// their first targeted point, and every scenario targets classes that
+// fire on each operation, so the wait is microseconds in practice; the
+// bound covers a scenario change that breaks that property.
+func (a *Antagonist) AwaitFrozen(d time.Duration) bool {
+	want := len(a.Victims())
+	deadline := time.Now().Add(d)
+	for a.FrozenVictims() < want {
+		if a.done.Load() || time.Now().After(deadline) {
+			return a.FrozenVictims() >= want
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
+}
+
+// Events returns the global hook-event count (the progress clock).
+func (a *Antagonist) Events() uint64 { return a.events.Load() }
+
+// Released reports whether ReleaseAll has run.
+func (a *Antagonist) Released() bool { return a.done.Load() }
+
+// ReleaseAll frees every frozen victim and disarms further injection.
+// Idempotent. The runner calls it after the live threads finished (or
+// after declaring a liveness violation), so victims can complete their
+// in-flight operation and the teardown conservation check can run.
+func (a *Antagonist) ReleaseAll() {
+	if !a.done.Swap(true) {
+		close(a.release)
+	}
+}
+
+// Visit is the antagonist's share of the yield hook: it advances the
+// progress clock and, when point p is targeted, freezes or delays the
+// calling thread per the profile. It blocks the caller's goroutine —
+// exactly what a hostile scheduler does to a thread.
+func (a *Antagonist) Visit(p yield.Point, caller, owner int) {
+	a.events.Add(1)
+	if caller < 0 || caller >= a.cfg.Threads || a.done.Load() {
+		return
+	}
+	if !a.cfg.Target.Has(Classify(p)) {
+		return
+	}
+	switch a.cfg.Profile {
+	case SingleStall, PermanentKill:
+		// Freeze the victim at its first targeted point and hold it
+		// until release. SingleStall and PermanentKill differ only in
+		// victim count and in what the runner demands afterwards
+		// (SingleStall's victim must finish post-release; a killed
+		// thread's quota is forfeit).
+		if a.victim[caller] && !a.frozen[caller].Swap(true) {
+			a.stalls.Add(1)
+			<-a.release
+		}
+	case RollingStall:
+		rng := &a.rngs[caller].rng
+		if rng.Next()%a.cfg.StallEvery == 0 {
+			a.stalls.Add(1)
+			a.delay()
+		}
+	}
+}
+
+// delay parks the caller (by yielding) until the rest of the system has
+// advanced the progress clock by StallEvents, with a spin bound for the
+// case where nobody else is producing events.
+func (a *Antagonist) delay() {
+	target := a.events.Load() + a.cfg.StallEvents
+	for spins := 0; spins < maxDelaySpins; spins++ {
+		if a.events.Load() >= target || a.done.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+}

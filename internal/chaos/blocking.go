@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfq"
+	"wfq/internal/core"
+	"wfq/internal/yield"
+)
+
+// runBlocking drives the blocking/Close lifecycle frontend under the
+// adversary. The progress contract here differs from the non-blocking
+// scenarios, and the assertions follow it (ALGORITHM.md, "Blocking and
+// termination"):
+//
+//   - A producer's TryEnqueue is a bounded operation: it gets the
+//     ordinary per-op step budget.
+//   - A consumer's DequeueCtx is NOT step-bounded — blocking on an
+//     empty queue is its specified behaviour, not starvation. What
+//     wait-freedom (plus the waiter protocol's no-lost-wakeup claim)
+//     does promise is completion liveness: once the producers finish
+//     and Close runs, every live consumer must drain what is left and
+//     get ErrClosed within the deadline; a frozen victim must get the
+//     same after release. Those are the checks.
+//
+// Victims are drawn from the consumers only: a producer frozen between
+// the close gate's Enter and Exit would block Close itself — that
+// deadlocks the harness by construction and says nothing about the
+// queue. (Rolling-stall delays may still hit producers; delays are
+// bounded, so Close is merely slowed.)
+func runBlocking(cfg Config) (Result, error) {
+	if cfg.Threads < 2 {
+		return Result{}, fmt.Errorf("blocking scenario needs >= 2 threads, got %d", cfg.Threads)
+	}
+	nProd := cfg.Threads / 2
+	consumers := make([]int, 0, cfg.Threads-nProd)
+	for tid := nProd; tid < cfg.Threads; tid++ {
+		consumers = append(consumers, tid)
+	}
+
+	q := wfq.New[int64](cfg.Threads, wfq.WithFastPath(core.DefaultPatience))
+	wd := NewWatchdog(cfg.Threads)
+	ant := NewAntagonist(AntagonistConfig{
+		Profile: cfg.Profile, Threads: cfg.Threads, Seed: cfg.Seed,
+		Target:     Classes(ClassPark, ClassDeqCAS, ClassRetry),
+		Eligible:   consumers,
+		StallEvery: cfg.StallEvery, StallEvents: cfg.StallEvents,
+	})
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		wd.Observe(p, caller, owner)
+		ant.Visit(p, caller, owner)
+	})
+	defer yield.Set(prev)
+
+	bound := StepBound(cfg.Threads, core.DefaultPatience, 1)
+	var prodWG, liveConsWG, allWG sync.WaitGroup
+	finished := make([]atomic.Bool, cfg.Threads)
+	stats := make([]workerStats, cfg.Threads)
+	start := time.Now()
+
+	for tid := 0; tid < nProd; tid++ {
+		prodWG.Add(1)
+		allWG.Add(1)
+		go func(tid int) {
+			defer allWG.Done()
+			defer prodWG.Done()
+			st := &stats[tid]
+			for i := 0; i < cfg.Ops; i++ {
+				opStart := time.Now()
+				wd.BeginOp(tid, bound)
+				err := q.TryEnqueue(tid, int64(tid)<<32|int64(i))
+				wd.EndOp(tid)
+				st.lats = append(st.lats, time.Since(opStart).Nanoseconds())
+				if err != nil {
+					// Close only runs after every producer joined, so
+					// a refusal here is a lifecycle ordering bug.
+					wd.ReportLiveness(tid, "TryEnqueue refused before Close: "+err.Error())
+					break
+				}
+				st.enq++
+			}
+			finished[tid].Store(true)
+		}(tid)
+	}
+	for _, tid := range consumers {
+		victim := ant.IsVictim(tid)
+		allWG.Add(1)
+		if !victim {
+			liveConsWG.Add(1)
+		}
+		go func(tid int, victim bool) {
+			defer allWG.Done()
+			if !victim {
+				defer liveConsWG.Done()
+			}
+			st := &stats[tid]
+			ctx := context.Background()
+			buf := make([]int64, cfg.BatchWidth)
+			for i := 0; ; i++ {
+				var err error
+				if i%8 == 3 {
+					var n int
+					n, err = q.DequeueBatchCtx(ctx, tid, buf)
+					st.deq += int64(n)
+				} else {
+					_, err = q.DequeueCtx(ctx, tid)
+					if err == nil {
+						st.deq++
+					}
+				}
+				if err != nil {
+					if !errors.Is(err, wfq.ErrClosed) {
+						wd.ReportLiveness(tid, "unexpected dequeue error: "+err.Error())
+					}
+					break
+				}
+			}
+			finished[tid].Store(true)
+		}(tid, victim)
+	}
+
+	res := Result{
+		Scenario: cfg.Scenario, Profile: cfg.Profile.String(), Seed: cfg.Seed,
+		Threads: cfg.Threads, OpsPerThread: cfg.Ops,
+		Victims: ant.Victims(), StepBound: bound,
+	}
+
+	// Freeze rendezvous: consumers fire targeted points from their
+	// first dequeue attempt, so the victims must all be frozen before
+	// the lifecycle phases run — otherwise a late-scheduled victim
+	// would see ReleaseAll before its first op and the adversary this
+	// run reports was never applied (observed in practice: victims
+	// parked behind the producer burst missed their entire window).
+	if !ant.AwaitFrozen(cfg.Deadline) {
+		wd.ReportLiveness(-1, fmt.Sprintf("only %d of %d victims froze within %v",
+			ant.FrozenVictims(), len(ant.Victims()), cfg.Deadline))
+	}
+
+	// Phase 1: producers finish their quotas (step-bounded ops; victims
+	// — all consumers — may be frozen throughout).
+	if !waitTimeout(&prodWG, cfg.Deadline) {
+		for tid := 0; tid < nProd; tid++ {
+			if !finished[tid].Load() {
+				wd.ReportLiveness(tid, fmt.Sprintf(
+					"producer incomplete after %v with victims frozen", cfg.Deadline))
+			}
+		}
+	}
+
+	// Phase 2: Close must return — it waits only for in-flight tracked
+	// enqueues, and all producers have joined (or been declared stuck).
+	closeDone := make(chan struct{})
+	go func() { q.Close(); close(closeDone) }()
+	select {
+	case <-closeDone:
+	case <-time.After(cfg.Deadline):
+		wd.ReportLiveness(-1, fmt.Sprintf("Close failed to return within %v", cfg.Deadline))
+	}
+
+	// Phase 3: every live consumer drains to ErrClosed.
+	if !waitTimeout(&liveConsWG, cfg.Deadline) {
+		for _, tid := range consumers {
+			if !ant.IsVictim(tid) && !finished[tid].Load() {
+				wd.ReportLiveness(tid, fmt.Sprintf(
+					"live consumer not drained to ErrClosed after %v", cfg.Deadline))
+			}
+		}
+	}
+
+	// Phase 4: release the frozen victims; they finish their in-flight
+	// dequeue (delivering any element they had claimed) and must also
+	// reach ErrClosed.
+	ant.ReleaseAll()
+	if !waitTimeout(&allWG, cfg.Deadline) {
+		for tid := range finished {
+			if !finished[tid].Load() {
+				wd.ReportLiveness(tid, "thread failed to terminate after victim release")
+			}
+		}
+		res.finish(wd, ant, start)
+		return res, nil
+	}
+
+	// Phase 5: conservation. Every accepted TryEnqueue must have been
+	// delivered — DequeueCtx only returns ErrClosed on closed AND
+	// drained, so nothing may remain (the non-blocking drain below
+	// must come up empty, and is there to catch exactly that bug).
+	var enq, deq int64
+	for tid := range stats {
+		enq += stats[tid].enq
+		deq += stats[tid].deq
+	}
+	var drained int64
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != 0 {
+		wd.ReportLiveness(-1, fmt.Sprintf(
+			"%d elements left behind after all consumers saw ErrClosed", drained))
+	}
+	wd.CheckConservation(enq, deq, drained)
+	wd.CheckPhase(q.MaxObservedPhase())
+
+	res.Enqueued, res.Dequeued, res.Drained = enq, deq, drained
+	res.MaxPhase = q.MaxObservedPhase()
+	// Latencies cover producers only: a consumer's blocking dequeue
+	// measures emptiness duration, not queue overhead.
+	res.MaxLatencyNs, res.P9999LatencyNs = latencyStats(stats[:nProd])
+	res.finish(wd, ant, start)
+	return res, nil
+}

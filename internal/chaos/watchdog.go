@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wfq/internal/phase"
+	"wfq/internal/yield"
+)
+
+// StepBound is the per-operation step budget the watchdog enforces: the
+// maximum number of instrumented points one thread may pass through
+// while executing one of its own operations (a batch of k counts as one
+// operation with a k-scaled budget).
+//
+// Shape: the helping argument of §3.2/§3.3 bounds an operation by
+// O(fixed) + O(patience) fast-path attempts + O(n²) helping steps — an
+// op may help up to n pending operations, and each help can be forced
+// to retry O(n) times by concurrent linearizations (every failed append
+// or claim CAS means some other thread's operation linearized, and at
+// most n operations are in flight). The constants convert "algorithm
+// steps" into "instrumented points" (an algorithm step fires a handful
+// of points — retry tops, scan marks, pre/post-CAS windows) and are
+// deliberately generous: cmd/wfqchaos measures worst cases of 3–44
+// points per op at n=8 against a budget of ~4.6k (results/CHAOS.json),
+// about two orders of magnitude of headroom. That asymmetry is the
+// design: the budget must never flake on a correct queue under any
+// scheduler, while an actually-unbounded retry loop (the class of bug
+// the slowPending fast-path gate fixed) is not 100× the healthy cost
+// but millions of times it — it blows through any O(n²)-shaped budget
+// within one adversary round.
+func StepBound(nthreads, patience, batch int) int64 {
+	if batch < 1 {
+		batch = 1
+	}
+	perOp := 512 + 16*int64(patience+1) + 64*int64(nthreads)*int64(nthreads)
+	return perOp * int64(batch)
+}
+
+// traceLen is the per-thread point-trace ring capacity. 64 recent
+// points is enough to see the loop shape of a violation (which points
+// repeat, helping whom) without the ring itself becoming the workload.
+const traceLen = 64
+
+// traceRing is a per-thread lock-free ring of recent hook events,
+// written only by the owning thread's hook calls but packed into
+// atomics so the runner can dump it while the owner is frozen mid-op.
+type traceRing struct {
+	pos atomic.Uint32
+	ev  [traceLen]atomic.Uint64
+	_   [124]byte
+}
+
+// Packed event layout: seq(32) | point(8) | caller+1(12) | owner+1(12).
+// The +1 maps the sentinel id -1 to 0 so it survives the unsigned
+// packing; ids are far below 4094 in any workload we run.
+func packEvent(seq uint64, p yield.Point, caller, owner int) uint64 {
+	return (seq&0xffffffff)<<32 |
+		(uint64(p)&0xff)<<24 |
+		(uint64(caller+1)&0xfff)<<12 |
+		uint64(owner+1)&0xfff
+}
+
+func unpackEvent(e uint64) TraceEvent {
+	return TraceEvent{
+		Seq:    e >> 32,
+		Point:  yield.Point((e >> 24) & 0xff),
+		Caller: int((e>>12)&0xfff) - 1,
+		Owner:  int(e&0xfff) - 1,
+	}
+}
+
+func (r *traceRing) record(seq uint64, p yield.Point, caller, owner int) {
+	i := r.pos.Add(1) - 1
+	r.ev[i%traceLen].Store(packEvent(seq, p, caller, owner))
+}
+
+// dump returns the ring's events, oldest first.
+func (r *traceRing) dump() []TraceEvent {
+	n := r.pos.Load()
+	count := min(uint32(traceLen), n)
+	out := make([]TraceEvent, 0, count)
+	for i := n - count; i < n; i++ {
+		e := r.ev[i%traceLen].Load()
+		if e != 0 {
+			out = append(out, unpackEvent(e))
+		}
+	}
+	return out
+}
+
+// TraceEvent is one decoded hook event from a violation's point trace.
+type TraceEvent struct {
+	Seq    uint64 `json:"seq"`
+	Point  yield.Point
+	Caller int `json:"caller"`
+	Owner  int `json:"owner"`
+}
+
+// String renders "seq point caller->owner".
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("#%d %s %d->%d", e.Seq, e.Point, e.Caller, e.Owner)
+}
+
+// Violation is one detected wait-freedom (or teardown-invariant)
+// failure, with the trace that led to it.
+type Violation struct {
+	TID int `json:"tid"`
+	// Kind: "step-bound" (an operation exceeded its budget),
+	// "liveness" (a live thread failed to finish while peers were
+	// frozen), "conservation" (elements lost or duplicated across the
+	// run), or "phase-wrap" (a phase left the certified range).
+	Kind   string       `json:"kind"`
+	Steps  int64        `json:"steps"`
+	Bound  int64        `json:"bound"`
+	Detail string       `json:"detail,omitempty"`
+	Trace  []TraceEvent `json:"trace,omitempty"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: tid %d steps=%d bound=%d %s", v.Kind, v.TID, v.Steps, v.Bound, v.Detail)
+}
+
+// paddedCounter is a cache-line-isolated atomic step counter.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// Watchdog counts each thread's instrumented steps per operation and
+// records violations. Install Observe as (part of) the yield hook;
+// bracket each operation with BeginOp/EndOp from the thread that runs
+// it. Steps are attributed to the CALLER — the thread physically
+// executing — because wait-freedom bounds what an operation costs its
+// own thread, helping included.
+type Watchdog struct {
+	nthreads int
+	// countPark: whether ClassPark points count toward step budgets.
+	// False everywhere today: a parked consumer is blocked by
+	// emptiness, not by other threads' scheduling, and the blocking
+	// frontend's liveness is asserted separately (see runBlocking).
+	countPark bool
+
+	steps  []paddedCounter // current op's step count, per tid
+	bounds []paddedCounter // current op's budget, per tid (0 = not in an op)
+	worst  []paddedCounter // max completed/violating op steps, per tid
+	traces []traceRing
+	seq    atomic.Uint64
+
+	mu         sync.Mutex
+	violations []Violation
+}
+
+// NewWatchdog builds a watchdog for nthreads threads.
+func NewWatchdog(nthreads int) *Watchdog {
+	return &Watchdog{
+		nthreads: nthreads,
+		steps:    make([]paddedCounter, nthreads),
+		bounds:   make([]paddedCounter, nthreads),
+		worst:    make([]paddedCounter, nthreads),
+		traces:   make([]traceRing, nthreads),
+	}
+}
+
+// BeginOp starts a bounded operation on tid with the given step budget.
+// Call from the thread that will execute the operation.
+func (w *Watchdog) BeginOp(tid int, bound int64) {
+	w.steps[tid].v.Store(0)
+	w.bounds[tid].v.Store(bound)
+}
+
+// EndOp ends tid's current operation, folding its step count into the
+// per-thread worst-case. Returns the operation's step count.
+func (w *Watchdog) EndOp(tid int) int64 {
+	n := w.steps[tid].v.Load()
+	w.bounds[tid].v.Store(0)
+	if n > w.worst[tid].v.Load() {
+		w.worst[tid].v.Store(n)
+	}
+	return n
+}
+
+// Observe is the watchdog's share of the yield hook.
+func (w *Watchdog) Observe(p yield.Point, caller, owner int) {
+	seq := w.seq.Add(1)
+	if caller < 0 || caller >= w.nthreads {
+		return
+	}
+	w.traces[caller].record(seq, p, caller, owner)
+	if !w.countPark && Classify(p) == ClassPark {
+		return
+	}
+	bound := w.bounds[caller].v.Load()
+	if bound == 0 {
+		return // not inside a bounded operation
+	}
+	n := w.steps[caller].v.Add(1)
+	if n == bound+1 {
+		// First step past the budget: report once per operation (the
+		// == keeps a runaway loop from flooding the violation list).
+		w.report(Violation{
+			TID: caller, Kind: "step-bound", Steps: n, Bound: bound,
+			Detail: fmt.Sprintf("exceeded at %s", p),
+			Trace:  w.traces[caller].dump(),
+		})
+	}
+	if n > w.worst[caller].v.Load() {
+		w.worst[caller].v.Store(n)
+	}
+}
+
+// ReportLiveness records that live thread tid failed to complete its
+// quota within the deadline while peers were frozen — the coarse form
+// of a wait-freedom violation (the per-point budget never even got the
+// chance to trip because the thread stopped making visible steps).
+func (w *Watchdog) ReportLiveness(tid int, detail string) {
+	v := Violation{TID: tid, Kind: "liveness", Detail: detail}
+	if tid >= 0 && tid < w.nthreads {
+		v.Steps = w.steps[tid].v.Load()
+		v.Bound = w.bounds[tid].v.Load()
+		v.Trace = w.traces[tid].dump()
+	}
+	w.report(v)
+}
+
+// CheckConservation records a conservation violation unless the
+// accounts balance: every enqueued element is either dequeued or still
+// drainable at teardown.
+func (w *Watchdog) CheckConservation(enqueued, dequeued, drained int64) {
+	if enqueued == dequeued+drained {
+		return
+	}
+	w.report(Violation{
+		TID: -1, Kind: "conservation",
+		Detail: fmt.Sprintf("enqueued %d != dequeued %d + drained %d",
+			enqueued, dequeued, drained),
+	})
+}
+
+// CheckPhase records a phase-wrap violation when a queue's maximum
+// observed phase left the certified range (§3.3 wrap guard; see
+// phase.MaxSafe for what breaks on wrap).
+func (w *Watchdog) CheckPhase(maxPhase int64) {
+	if !phase.Wrapped(maxPhase) {
+		return
+	}
+	w.report(Violation{
+		TID: -1, Kind: "phase-wrap",
+		Detail: fmt.Sprintf("max observed phase %d outside [0, 2^62]", maxPhase),
+	})
+}
+
+func (w *Watchdog) report(v Violation) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.violations = append(w.violations, v)
+}
+
+// Violations returns a copy of the recorded violations.
+func (w *Watchdog) Violations() []Violation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Violation(nil), w.violations...)
+}
+
+// WorstSteps returns the largest per-operation step count any thread
+// reached (completed or in flight).
+func (w *Watchdog) WorstSteps() int64 {
+	var worst int64
+	for i := range w.worst {
+		if n := w.worst[i].v.Load(); n > worst {
+			worst = n
+		}
+	}
+	return worst
+}

@@ -50,7 +50,7 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 	}
 	q.met.incOp(tid)
 	q.met.incBatchEnq(tid, len(vs))
-	if q.patience > 0 {
+	if q.fastAllowed(tid) {
 		// Fast chain: like a single fast-path node, the chain is
 		// thread-local until the append CAS, and descriptor-less after
 		// it — every node carries enqTid = noTID.
@@ -95,12 +95,18 @@ func (q *Queue[T]) linkChain(tid int, vs []T, owner int32) (head, tail *node[T])
 // all k elements at once, and helpFinishEnq (the caller's, or any
 // helper's) swings tail to chainTail.
 func (q *Queue[T]) slowEnqueueChain(tid int, head, chainTail *node[T]) {
+	if q.patience > 0 {
+		q.slowPending.Add(1)
+	}
 	ph := q.nextPhase()
 	q.state[tid].p.Store(&opDesc[T]{
 		phase: ph, pending: true, enqueue: true, node: head, chainTail: chainTail,
 	})
 	q.help(tid, ph, true)
 	q.helpFinishEnq(tid)
+	if q.patience > 0 {
+		q.slowPending.Add(-1)
+	}
 	if q.clearOnExit {
 		q.clearDesc(tid, ph, true)
 	}
@@ -121,7 +127,7 @@ func (q *Queue[T]) fastEnqueueChain(tid int, head, chainTail *node[T]) bool {
 			yield.At(yield.KPFastBeforeAppend, tid, tid)
 			if last.next.CompareAndSwap(nil, head) {
 				yield.At(yield.KPChainAfterAppend, tid, tid)
-				q.advanceTailPastChain(last, chainTail)
+				q.advanceTailPastChain(tid, last, chainTail)
 				return true
 			}
 			q.met.incAppendFail(tid)
@@ -142,9 +148,9 @@ func (q *Queue[T]) fastEnqueueChain(tid int, head, chainTail *node[T]) bool {
 // a failed CAS on cur means tail already advanced beyond cur (tail only
 // moves forward, and every transition from a chain node goes to a later
 // chain node or past chainTail).
-func (q *Queue[T]) advanceTailPastChain(last, chainTail *node[T]) {
+func (q *Queue[T]) advanceTailPastChain(tid int, last, chainTail *node[T]) {
 	for cur := last; cur != chainTail; cur = cur.next.Load() {
-		yield.At(yield.KPChainBeforeSwing, -1, -1)
+		yield.At(yield.KPChainBeforeSwing, tid, tid)
 		if q.tailRef.CompareAndSwap(cur, chainTail) {
 			return
 		}
@@ -165,7 +171,7 @@ func (q *Queue[T]) DequeueBatch(tid int, dst []T) int {
 	q.met.incOp(tid)
 	n := 0
 	sawEmpty := false
-	if q.patience > 0 {
+	if q.fastAllowed(tid) {
 		n, sawEmpty = q.fastDequeueBatch(tid, dst)
 	}
 	// Wait-free remainder: each single Dequeue is itself bounded, and

@@ -9,7 +9,7 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 	q.checkTid(tid)
 	q.met.incOp(tid)
 	var n *node[T]
-	if q.patience > 0 {
+	if q.fastAllowed(tid) {
 		// Fast path: the node is thread-local until the append CAS, so
 		// it carries enqTid = noTID — there is no descriptor for a
 		// helper to complete.
@@ -26,10 +26,16 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 	} else {
 		n = q.allocNode(tid, v, int32(tid))
 	}
+	if q.patience > 0 {
+		q.slowPending.Add(1)
+	}
 	ph := q.nextPhase()                                                                // Line 62
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: n}) // Line 63
 	q.help(tid, ph, true)                                                              // Line 64
 	q.helpFinishEnq(tid)                                                               // Line 65
+	if q.patience > 0 {
+		q.slowPending.Add(-1)
+	}
 	if q.clearOnExit {
 		q.clearDesc(tid, ph, true)
 	}
@@ -42,19 +48,25 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 	q.checkTid(tid)
 	q.met.incOp(tid)
-	if q.patience > 0 {
+	if q.fastAllowed(tid) {
 		if v, ok, done := q.fastDequeue(tid); done {
 			q.met.incFastDeq(tid)
 			return v, ok
 		}
 		q.met.incFastExpired(tid)
 	}
+	if q.patience > 0 {
+		q.slowPending.Add(1)
+	}
 	ph := q.nextPhase()                                                        // Line 99
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false}) // Line 100
 	q.help(tid, ph, false)                                                     // Line 101
 	q.helpFinishDeq(tid)                                                       // Line 102
-	n := q.state[tid].p.Load().node                                            // Line 103
-	if n == nil {                                                              // Lines 104–106: linearized on an empty queue
+	if q.patience > 0 {
+		q.slowPending.Add(-1)
+	}
+	n := q.state[tid].p.Load().node // Line 103
+	if n == nil {                   // Lines 104–106: linearized on an empty queue
 		if q.clearOnExit {
 			q.clearDesc(tid, ph, false)
 		}

@@ -26,7 +26,7 @@ func (q *HPQueue[T]) EnqueueBatch(tid int, vs []T) {
 		q.Enqueue(tid, vs[0])
 		return
 	}
-	if q.patience > 0 {
+	if q.fastAllowed() {
 		head, chainTail := q.linkChain(tid, vs, noTID)
 		if q.fastEnqueueChain(tid, head, chainTail, len(vs)) {
 			q.dom.ClearAll(tid)
@@ -69,6 +69,9 @@ func (q *HPQueue[T]) linkChain(tid int, vs []T, owner int32) (head, tail *node[T
 // owner bounds-steps tail through its chain before returning, so the
 // quiescent "at most one dangling node" invariant is restored by op end.
 func (q *HPQueue[T]) slowEnqueueChain(tid int, head *node[T], k int) {
+	if q.patience > 0 {
+		q.slowPending.Add(1)
+	}
 	ph := q.maxPhase() + 1
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: head})
 	q.help(tid, ph)
@@ -78,6 +81,9 @@ func (q *HPQueue[T]) slowEnqueueChain(tid int, head *node[T], k int) {
 	// therefore witness at least the k steps the chain needs.
 	for i := 0; i < k; i++ {
 		q.helpFinishEnq(tid)
+	}
+	if q.patience > 0 {
+		q.slowPending.Add(-1)
 	}
 }
 
@@ -126,7 +132,7 @@ func (q *HPQueue[T]) DequeueBatch(tid int, dst []T) int {
 	}
 	n := 0
 	sawEmpty := false
-	if q.patience > 0 {
+	if q.fastAllowed() {
 		n, sawEmpty = q.fastDequeueBatch(tid, dst)
 		q.dom.ClearAll(tid)
 	}

@@ -36,8 +36,14 @@ import (
 type HPQueue[T any] struct {
 	headRef paddedPtr[T]
 	tailRef paddedPtr[T]
-	state   []paddedDesc[T]
-	nthr    int
+	// slowPending counts operations currently published in the state
+	// array; the fast path stands down while it is nonzero so a stream
+	// of fast operations cannot starve a slow-path fallback (same gate
+	// as Queue.slowPending — see that field's comment).
+	slowPending atomic.Int32
+	_           [sepBytes - 4]byte
+	state       []paddedDesc[T]
+	nthr        int
 	// patience is the fast-path attempt bound (WithFastPath); 0 sends
 	// every operation straight to the helping protocol.
 	patience int
@@ -146,11 +152,21 @@ func (q *HPQueue[T]) isStillPending(tid int, ph int64) bool {
 	return d.pending && d.phase <= ph
 }
 
+// MaxObservedPhase reports the largest phase currently published in the
+// state array (chaos watchdog wrap guard; see Queue.MaxObservedPhase).
+func (q *HPQueue[T]) MaxObservedPhase() int64 { return q.maxPhase() }
+
+// fastAllowed is the HP form of Queue.fastAllowed: fast path configured
+// and no slow-path operation currently published.
+func (q *HPQueue[T]) fastAllowed() bool {
+	return q.patience > 0 && q.slowPending.Load() == 0
+}
+
 // Enqueue inserts v at the tail on behalf of thread tid.
 func (q *HPQueue[T]) Enqueue(tid int, v T) {
 	q.checkTid(tid)
 	n := q.nodes.Get(tid)
-	if q.patience > 0 {
+	if q.fastAllowed() {
 		// Fast path: the node carries enqTid = noTID (no descriptor
 		// for helpers to complete) until a fallback re-owns it.
 		n.reset(v, noTID)
@@ -163,10 +179,16 @@ func (q *HPQueue[T]) Enqueue(tid int, v T) {
 	} else {
 		n.reset(v, int32(tid))
 	}
+	if q.patience > 0 {
+		q.slowPending.Add(1)
+	}
 	ph := q.maxPhase() + 1
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: n})
 	q.help(tid, ph)
 	q.helpFinishEnq(tid)
+	if q.patience > 0 {
+		q.slowPending.Add(-1)
+	}
 	q.dom.ClearAll(tid)
 }
 
@@ -174,17 +196,23 @@ func (q *HPQueue[T]) Enqueue(tid int, v T) {
 // when the operation linearized on an empty queue.
 func (q *HPQueue[T]) Dequeue(tid int) (v T, ok bool) {
 	q.checkTid(tid)
-	if q.patience > 0 {
+	if q.fastAllowed() {
 		v, ok, done := q.fastDequeue(tid)
 		if done {
 			q.dom.ClearAll(tid)
 			return v, ok
 		}
 	}
+	if q.patience > 0 {
+		q.slowPending.Add(1)
+	}
 	ph := q.maxPhase() + 1
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false})
 	q.help(tid, ph)
 	q.helpFinishDeq(tid)
+	if q.patience > 0 {
+		q.slowPending.Add(-1)
+	}
 	d := q.state[tid].p.Load()
 	q.dom.ClearAll(tid)
 	// §3.4: the result travels in the descriptor itself; d.node may

@@ -41,6 +41,10 @@ type metricCounters struct {
 	fastEnqHits   atomic.Int64
 	fastDeqHits   atomic.Int64
 	fastFallbacks atomic.Int64
+	// FastGateSkips counts operations that skipped the fast path because
+	// a slow-path operation was published (the slowPending gate): how
+	// often the anti-starvation gate actually diverted traffic.
+	fastGateSkips atomic.Int64
 	// DeqClaimFailures counts lost fast-path deqTid claim races.
 	deqClaimFailures atomic.Int64
 	// BatchEnqs / BatchDeqs count EnqueueBatch/DequeueBatch invocations
@@ -55,7 +59,7 @@ type metricCounters struct {
 	// from (or missing) the WithDescriptorCache slot.
 	descCacheHits   atomic.Int64
 	descCacheMisses atomic.Int64
-	_               [120]byte // round the struct up to whole cache-line pairs
+	_               [112]byte // round the struct up to whole cache-line pairs
 }
 
 // newMetrics allocates counter blocks for nthreads threads.
@@ -75,6 +79,7 @@ type Snapshot struct {
 	FastEnqHits       int64
 	FastDeqHits       int64
 	FastFallbacks     int64
+	FastGateSkips     int64
 	DeqClaimFailures  int64
 	BatchEnqs         int64
 	BatchEnqElems     int64
@@ -100,6 +105,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.FastEnqHits += o.FastEnqHits
 	s.FastDeqHits += o.FastDeqHits
 	s.FastFallbacks += o.FastFallbacks
+	s.FastGateSkips += o.FastGateSkips
 	s.DeqClaimFailures += o.DeqClaimFailures
 	s.BatchEnqs += o.BatchEnqs
 	s.BatchEnqElems += o.BatchEnqElems
@@ -134,6 +140,7 @@ func (m *Metrics) Thread(tid int) Snapshot {
 		FastEnqHits:       c.fastEnqHits.Load(),
 		FastDeqHits:       c.fastDeqHits.Load(),
 		FastFallbacks:     c.fastFallbacks.Load(),
+		FastGateSkips:     c.fastGateSkips.Load(),
 		DeqClaimFailures:  c.deqClaimFailures.Load(),
 		BatchEnqs:         c.batchEnqs.Load(),
 		BatchEnqElems:     c.batchEnqElems.Load(),
@@ -205,6 +212,11 @@ func (m *Metrics) incFastDeq(tid int) {
 func (m *Metrics) incFastExpired(tid int) {
 	if m != nil {
 		m.counters[tid].fastFallbacks.Add(1)
+	}
+}
+func (m *Metrics) incGateSkip(tid int) {
+	if m != nil {
+		m.counters[tid].fastGateSkips.Add(1)
 	}
 }
 func (m *Metrics) incDeqClaimFail(tid int) {

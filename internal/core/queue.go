@@ -214,6 +214,19 @@ type Queue[T any] struct {
 	_       [sepBytes - 8]byte
 	tailRef atomic.Pointer[node[T]]
 	_       [sepBytes - 8]byte
+	// slowPending counts operations currently published in the state
+	// array (maintained only when the fast path is enabled). The fast
+	// path consults it and stands down while it is nonzero: an unbounded
+	// stream of fast-path operations never reads the state array, so
+	// without this gate it could invalidate a slow-path operation's
+	// linearizing CAS forever — a wait-freedom violation (found by the
+	// chaos antagonist; see ALGORITHM.md, "Measured wait-freedom"). With
+	// the gate, once a slow descriptor is published only the fast
+	// operations already past the gate (at most n-1, each bounded by its
+	// patience) remain oblivious; every later operation takes the slow
+	// path, whose helping protocol completes the stalled operation.
+	slowPending atomic.Int32
+	_           [sepBytes - 4]byte
 	// state is the per-thread operation-descriptor array (Line 26).
 	state []paddedDesc[T]
 	// cursor drives cyclic help-one candidate selection (VariantOpt1).
@@ -349,6 +362,25 @@ func (q *Queue[T]) nextPhase() int64 {
 		return q.phases.Next()
 	}
 	return q.maxPhase() + 1
+}
+
+// MaxObservedPhase reports the largest phase currently published in the
+// state array. Diagnostic: the chaos watchdog asserts it stays far below
+// the §3.3 64-bit wrap horizon (see internal/phase).
+func (q *Queue[T]) MaxObservedPhase() int64 { return q.maxPhase() }
+
+// fastAllowed reports whether thread tid may run the lock-free fast path
+// right now: the fast path is configured AND no slow-path operation is
+// currently published (see the slowPending field comment).
+func (q *Queue[T]) fastAllowed(tid int) bool {
+	if q.patience <= 0 {
+		return false
+	}
+	if q.slowPending.Load() != 0 {
+		q.met.incGateSkip(tid)
+		return false
+	}
+	return true
 }
 
 // isStillPending reports whether thread tid has a pending operation at a

@@ -63,3 +63,25 @@ type Fixed int64
 
 // Next implements Provider.
 func (f Fixed) Next() int64 { return int64(f) }
+
+// MaxSafe is the largest phase number the algorithms are certified for.
+// Phases are int64 and only ever increase, so the practical concern is
+// signed overflow: past 2^63-1 a phase wraps negative and every
+// "phase <= mine" helping comparison inverts — pending operations with
+// huge positive phases would be judged "later" than every new operation
+// and never helped, silently breaking the doorway ordering (and with it
+// the wait-freedom argument of §3.2). MaxSafe is set a factor of two
+// under the overflow line so the guard fires while arithmetic is still
+// exact. At 10^9 operations per second a queue reaches MaxSafe after
+// ~146 years; the guard exists so that a future change (a provider
+// seeded wrong, a widened phase stride) fails loudly in tests rather
+// than corrupting helping order.
+const MaxSafe int64 = 1 << 62
+
+// Wrapped reports whether phase p is outside the certified range —
+// below -1 (provider phases start at 1, and -1 is only ever the state
+// array's "no operation published yet" sentinel, so anything lower
+// means overflow already happened) or beyond MaxSafe (close enough
+// that upcoming arithmetic could overflow). The chaos watchdog asserts
+// !Wrapped on every queue's maximum observed phase.
+func Wrapped(p int64) bool { return p < -1 || p > MaxSafe }

@@ -142,6 +142,27 @@ func TestFixed(t *testing.T) {
 	}
 }
 
+// TestWrapped pins the §3.3 64-bit wrap guard's boundary semantics: the
+// state array's -1 "nothing published yet" sentinel and every certified
+// phase up to MaxSafe are sane; anything below -1 (which a wrapped
+// int64 phase would produce) or beyond MaxSafe trips the guard while
+// the doorway comparisons are still years from actually inverting.
+func TestWrapped(t *testing.T) {
+	for _, p := range []int64{-1, 0, 1, 1 << 40, MaxSafe} {
+		if Wrapped(p) {
+			t.Errorf("Wrapped(%d) = true, want false", p)
+		}
+	}
+	for _, p := range []int64{-2, MaxSafe + 1, -(1 << 62), minInt64()} {
+		if !Wrapped(p) {
+			t.Errorf("Wrapped(%d) = false, want true", p)
+		}
+	}
+}
+
+// minInt64 dodges the overflow vet warning a -(1<<63) literal raises.
+func minInt64() int64 { return -1 << 63 }
+
 func BenchmarkCASNext(b *testing.B) {
 	p := NewCAS()
 	b.RunParallel(func(pb *testing.PB) {

@@ -1,0 +1,118 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfq/internal/waiter"
+	"wfq/internal/yield"
+)
+
+// TestCloseDrainWithFrozenTicketHolder is the chaos-issue regression for
+// the sharded frontend's prime starvation suspect: a consumer that
+// performed its dequeue ticket fetch-and-add and then froze before the
+// shard pop. Its ticket is burned and "points at" an element, but the
+// close/drain protocol must not wait for it: Close returns, the live
+// consumers drain every element and reach ErrClosed via the shared
+// drain mask (their own tickets cover every residue), and the released
+// victim finds its shard empty without corrupting the drained state.
+// Run under -race by the tier-1 gate.
+func TestCloseDrainWithFrozenTicketHolder(t *testing.T) {
+	const producer, victim, cons1, cons2, elems = 0, 1, 2, 3, 20
+	q := New[int](4, 2)
+	for i := 0; i < elems; i++ {
+		if err := q.TryEnqueue(producer, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, _ int) {
+		if p == yield.SHDeqTicket && caller == victim {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	victimGot := make(chan bool, 1)
+	go func() {
+		_, ok := q.Dequeue(victim) // ticket 0; freezes before the shard pop
+		victimGot <- ok
+	}()
+	<-parked
+
+	// Close must return promptly: it waits only for tracked enqueues,
+	// never for an in-flight dequeue ticket.
+	closeDone := make(chan struct{})
+	go func() { q.Close(); close(closeDone) }()
+	select {
+	case <-closeDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close blocked on a frozen dequeue ticket holder")
+	}
+
+	// The live consumers must drain all elements and terminate with
+	// ErrClosed while the victim is still frozen mid-dispatch — their
+	// consecutive tickets visit both residues, so the shared drain mask
+	// completes without the victim's help.
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for _, tid := range []int{cons1, cons2} {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				_, err := q.DequeueCtx(context.Background(), tid)
+				if err != nil {
+					if !errors.Is(err, waiter.ErrClosed) {
+						t.Errorf("consumer %d: %v", tid, err)
+					}
+					return
+				}
+				delivered.Add(1)
+			}
+		}(tid)
+	}
+	consDone := make(chan struct{})
+	go func() { wg.Wait(); close(consDone) }()
+	select {
+	case <-consDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("live consumers hung behind a frozen ticket holder")
+	}
+	if got := delivered.Load(); got != elems {
+		t.Fatalf("live consumers delivered %d of %d", got, elems)
+	}
+	if !q.Drained() {
+		t.Fatal("Drained false after live consumers saw ErrClosed")
+	}
+
+	// Release the victim: its pop finds shard 0 empty (the element its
+	// ticket named was legitimately overtaken), and — having read its
+	// quiescence license before Close — its miss must not disturb the
+	// completed drain state.
+	close(resume)
+	select {
+	case ok := <-victimGot:
+		if ok {
+			t.Fatal("frozen ticket holder conjured an element from a drained queue")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("victim never completed after release")
+	}
+	if !q.Drained() {
+		t.Fatal("victim's late miss corrupted the drain mask")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("residual Len=%d", q.Len())
+	}
+}

@@ -206,8 +206,14 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) uint64 {
 		// Degenerate fan-out: the whole batch is one shard's run.
 		shard := t % nsh
 		if b, ok := q.shards[shard].(Batcher[T]); ok {
-			for range vs {
-				yield.At(yield.SHEnqTicket, tid, int(shard))
+			// This loop exists only to emit one dispatch point per
+			// element (chaos/choreography hooks see batches as k
+			// tickets); without a hook it would be k wasted atomic
+			// loads on the hot path, hence the Enabled guard.
+			if yield.Enabled() {
+				for range vs {
+					yield.At(yield.SHEnqTicket, tid, int(shard))
+				}
 			}
 			b.EnqueueBatch(tid, vs)
 		} else {
@@ -233,8 +239,10 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) uint64 {
 		for i := off; i < k; i += nsh {
 			sub = append(sub, vs[i])
 		}
-		for range sub {
-			yield.At(yield.SHEnqTicket, tid, int(shard))
+		if yield.Enabled() { // see the degenerate branch: hook-only loop
+			for range sub {
+				yield.At(yield.SHEnqTicket, tid, int(shard))
+			}
 		}
 		if b, ok := q.shards[shard].(Batcher[T]); ok {
 			b.EnqueueBatch(tid, sub)
@@ -313,6 +321,22 @@ func (q *Queue[T]) DispatchStats() DispatchStats {
 		DeqTickets:  q.deqT.Load(),
 		EmptyClaims: q.emptyClaims.Load(),
 	}
+}
+
+// MaxObservedPhase reports the largest phase currently published in any
+// shard's state array (the chaos watchdog's §3.3 wrap guard; see
+// core.Queue.MaxObservedPhase). Shards that do not expose phases
+// contribute zero.
+func (q *Queue[T]) MaxObservedPhase() int64 {
+	var m int64
+	for _, s := range q.shards {
+		if p, ok := s.(interface{ MaxObservedPhase() int64 }); ok {
+			if v := p.MaxObservedPhase(); v > m {
+				m = v
+			}
+		}
+	}
+	return m
 }
 
 // Metrics collects the per-shard core metrics (non-nil entries only when

@@ -3,11 +3,27 @@ package waiter
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// awaitWaiter blocks until ec reports a registered waiter, with a
+// deadline — deterministic park detection for the wake tests.
+// Registration precedes the physical park and is the event the
+// no-lost-wakeup protocol keys on, so "registered" is the exact
+// precondition a notifier needs; no sleep calibration involved.
+func awaitWaiter(t *testing.T, ec *EventCount) {
+	t.Helper()
+	for deadline := time.Now().Add(30 * time.Second); ec.Waiters() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		runtime.Gosched()
+	}
+}
 
 // chanSource is a trivial Source: a mutex-guarded slice. Drained is the
 // single-FIFO rule (empty observation is genuine emptiness).
@@ -90,10 +106,7 @@ func TestEventCountWaitWakesOnNotify(t *testing.T) {
 		key := ec.Register()
 		done <- ec.Wait(context.Background(), key, 0)
 	}()
-	// Wait until the waiter registered, then notify.
-	for ec.Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiter(t, &ec)
 	ec.Notify(0)
 	select {
 	case err := <-done:
@@ -113,9 +126,7 @@ func TestEventCountWaitHonorsContext(t *testing.T) {
 		key := ec.Register()
 		done <- ec.Wait(ctx, key, 0)
 	}()
-	for ec.Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiter(t, &ec)
 	cancel()
 	select {
 	case err := <-done:
@@ -204,9 +215,7 @@ func TestDequeueCtxParksAndWakes(t *testing.T) {
 		}
 		done <- v
 	}()
-	for g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiter(t, g.EC())
 	// Producer protocol: publish, then notify.
 	src.push(7)
 	g.Notify(1)
@@ -248,9 +257,7 @@ func TestDequeueCtxCloseWakesParked(t *testing.T) {
 		_, err := DequeueCtx[int](context.Background(), g, src, nil, 0, 0, 0)
 		done <- err
 	}()
-	for g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiter(t, g.EC())
 	if err := g.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
@@ -305,9 +312,7 @@ func TestDequeueBatchCtx(t *testing.T) {
 		}
 		done <- n
 	}()
-	for g.EC().Waiters() == 0 {
-		time.Sleep(time.Millisecond)
-	}
+	awaitWaiter(t, g.EC())
 	src.push(1)
 	src.push(2)
 	g.Notify(1)

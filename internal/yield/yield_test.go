@@ -98,6 +98,29 @@ func TestPointString(t *testing.T) {
 	}
 }
 
+// TestNoHookZeroOverhead is the instrumentation-cost regression guard:
+// with no hook installed, At must not allocate (it is one atomic load
+// on the hot path of every queue operation) and Enabled must not
+// allocate either. A regression here taxes every production operation,
+// hook or not — exactly what the yield layer promises never to do.
+func TestNoHookZeroOverhead(t *testing.T) {
+	prev := Set(nil)
+	defer Set(prev)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		At(KPHelpScan, 0, 0)
+		At(KPFastEnqAttempt, 1, 1)
+	}); allocs != 0 {
+		t.Fatalf("At with no hook allocates %.1f per call pair", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if Enabled() {
+			t.Error("Enabled true with no hook")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Enabled allocates %.1f per call", allocs)
+	}
+}
+
 func BenchmarkAtDisabled(b *testing.B) {
 	Set(nil)
 	for i := 0; i < b.N; i++ {

@@ -18,3 +18,9 @@ go test -race -run 'TestEnqueueNotifyRacesChainSwing|TestCloseDrainConcurrent|Te
 # (regression corpora run in `go test` above; these probe fresh inputs).
 go test -run='^$' -fuzz='^FuzzSharded$' -fuzztime=10s ./internal/sharded/
 go test -run='^$' -fuzz='^FuzzBatchCore$' -fuzztime=10s ./internal/core/
+# Chaos smoke: the seeded stall-injection antagonist + wait-freedom
+# step-bound watchdog across every frontend and adversary profile,
+# under the race detector (exits nonzero on any violation, with the
+# captured point trace).
+go test -race ./internal/chaos/
+go run -race ./cmd/wfqchaos -quick

@@ -187,6 +187,17 @@ func New[T any](maxThreads int, opts ...Option) *Queue[T] {
 // MaxThreads reports the queue's concurrency bound.
 func (q *Queue[T]) MaxThreads() int { return q.q.NumThreads() }
 
+// MaxObservedPhase reports the largest phase number currently published
+// in the backend's helping state (max across shards when sharded). It
+// exists for the chaos watchdog's §3.3 wrap guard — see phase.MaxSafe —
+// and for monitoring; values are racy snapshots.
+func (q *Queue[T]) MaxObservedPhase() int64 {
+	if p, ok := q.q.(interface{ MaxObservedPhase() int64 }); ok {
+		return p.MaxObservedPhase()
+	}
+	return 0
+}
+
 // Shards reports the shard count (1 when unsharded).
 func (q *Queue[T]) Shards() int {
 	if q.sh != nil {
