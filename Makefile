@@ -1,7 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate every change
 # must pass (see README.md).
 
-.PHONY: check test bench figures
+.PHONY: check test bench bench-ring figures
 
 check:
 	sh scripts/check.sh
@@ -11,6 +11,17 @@ test:
 
 bench:
 	go test -run xxx -bench 'Enqueue|Dequeue|Mixed' -benchtime 10x .
+
+# Ring backend acceptance sweep: singles and k=8 batches against the
+# fast-WF engine (with and without arena), committed as
+# results/BENCH_ring.json and results/BENCH_ring_batch.json.
+bench-ring:
+	go run ./cmd/wfqbench -algs 'fast WF,fast WF (arena),ring WF' \
+		-workload pairs -threads 1,2,4,8 -iters 50000 -repeats 5 \
+		-jsonsummary results/BENCH_ring.json
+	go run ./cmd/wfqbench -algs 'fast WF,fast WF (arena),ring WF' \
+		-workload batchpairs -batch 1,8 -threads 1,2,4,8 -iters 50000 -repeats 5 \
+		-jsonsummary results/BENCH_ring_batch.json
 
 figures:
 	go run ./cmd/wfqpaper

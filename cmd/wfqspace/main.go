@@ -6,8 +6,15 @@
 // Usage:
 //
 //	wfqspace [-maxexp 6] [-threads 8] [-samples 9] [-repeats 1] [-csv]
+//	wfqspace -ring [-segsize N] [-maxexp 6] [-threads 8] [-csv]
 //
 // -maxexp 7 matches the paper's 10^7 ceiling but needs several GiB.
+//
+// -ring switches to the ring backend's footprint probe: alongside the
+// live-heap measurement it reports the ring's own segment accounting —
+// per-segment bytes, live-chain high-water mark, free-list occupancy,
+// and the allocate/reuse/recycle/drop counters — so the bounded-memory
+// claim is checked by both the GC and the structure's counters.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"wfq/internal/figures"
 	"wfq/internal/harness"
+	"wfq/internal/ring"
 )
 
 func main() {
@@ -27,6 +35,8 @@ func main() {
 	intervalMs := flag.Int("interval", 5, "milliseconds between samples")
 	repeats := flag.Int("repeats", 1, "averaged runs per cell (paper: 10)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	ringMode := flag.Bool("ring", false, "probe the ring backend's segment footprint instead of Figure 10")
+	segSize := flag.Int("segsize", 0, "ring slots per segment (0 = default; only with -ring)")
 	flag.Parse()
 
 	if *maxExp < 0 || *maxExp > 8 {
@@ -35,6 +45,19 @@ func main() {
 	sizes := []int{1}
 	for e := 1; e <= *maxExp; e++ {
 		sizes = append(sizes, sizes[len(sizes)-1]*10)
+	}
+	if *ringMode {
+		cfg := harness.SpaceConfig{
+			Threads:  *threads,
+			Samples:  *samples,
+			Interval: time.Duration(*intervalMs) * time.Millisecond,
+		}
+		points, err := harness.RingSpaceSweep(sizes, cfg, *segSize)
+		if err != nil {
+			fatal(err)
+		}
+		printRing(points, *csv)
+		return
 	}
 	p := figures.SpaceParams{
 		Sizes:   sizes,
@@ -53,6 +76,33 @@ func main() {
 		fmt.Print(tab.CSV())
 	} else {
 		fmt.Println(tab.String())
+	}
+}
+
+// printRing renders the ring footprint probe. Live-heap is the external
+// (GC) witness; the remaining columns are the ring's internal accounting
+// of the same bound.
+func printRing(points []harness.RingSpacePoint, csv bool) {
+	if csv {
+		fmt.Println("initial_size,live_heap_bytes,segment_bytes,max_live_segments,structure_bytes,free_segments,allocated,reused,recycled,dropped,deq_burns,enq_retries")
+		for _, p := range points {
+			fmt.Printf("%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				p.InitialSize, p.LiveHeapBytes, p.SegmentBytes, p.MaxLiveSegments,
+				p.StructureBytes, p.Stats.FreeSegments, p.Stats.Allocated,
+				p.Stats.Reused, p.Stats.Recycled, p.Stats.Dropped,
+				p.Stats.DeqBurns, p.Stats.EnqRetries)
+		}
+		return
+	}
+	fmt.Printf("ring footprint (segment = %d slots, %d B; free list cap %d)\n",
+		points[0].Stats.SegSize, points[0].SegmentBytes, ring.FreeListCap)
+	fmt.Printf("%10s %14s %9s %12s %6s %7s %7s %8s %8s %6s %8s\n",
+		"size", "live-heap", "max-live", "struct-B", "free", "alloc", "reused", "recycled", "dropped", "burns", "retries")
+	for _, p := range points {
+		fmt.Printf("%10d %14.0f %9d %12d %6d %7d %7d %8d %8d %6d %8d\n",
+			p.InitialSize, p.LiveHeapBytes, p.MaxLiveSegments, p.StructureBytes,
+			p.Stats.FreeSegments, p.Stats.Allocated, p.Stats.Reused,
+			p.Stats.Recycled, p.Stats.Dropped, p.Stats.DeqBurns, p.Stats.EnqRetries)
 	}
 }
 

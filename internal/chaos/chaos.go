@@ -93,14 +93,14 @@ func Classify(p yield.Point) Class {
 	switch p {
 	case yield.KPBeforeAppend, yield.KPAfterAppend, yield.KPAfterStateCASEnq,
 		yield.KPBeforeTailCAS, yield.KPFastBeforeAppend, yield.KPFastAfterAppend,
-		yield.MSBeforeAppend:
+		yield.MSBeforeAppend, yield.RGEnqClaim:
 		return ClassEnqCAS
 	case yield.KPBeforeEmptyCAS, yield.KPBeforeDeqTidCAS, yield.KPAfterDeqTidCAS,
 		yield.KPAfterStateCASDeq, yield.KPBeforeHeadCAS,
 		yield.KPFastBeforeDeqTidCAS, yield.KPFastAfterDeqTidCAS,
-		yield.MSBeforeHeadCAS:
+		yield.MSBeforeHeadCAS, yield.RGDeqClaim:
 		return ClassDeqCAS
-	case yield.KPChainAfterAppend, yield.KPChainBeforeSwing:
+	case yield.KPChainAfterAppend, yield.KPChainBeforeSwing, yield.RGSegAdvance:
 		return ClassChain
 	case yield.SHEnqTicket, yield.SHDeqTicket:
 		return ClassTicket
@@ -109,7 +109,7 @@ func Classify(p yield.Point) Class {
 		return ClassPark
 	default:
 		// KPHelpScan, KPEnqRetry, KPDeqRetry, KPFastEnqAttempt,
-		// KPFastDeqAttempt.
+		// KPFastDeqAttempt, RGRetry.
 		return ClassRetry
 	}
 }

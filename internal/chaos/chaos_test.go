@@ -16,6 +16,10 @@ func TestClassify(t *testing.T) {
 		yield.KPFastAfterDeqTidCAS: ClassDeqCAS,
 		yield.KPChainAfterAppend:   ClassChain,
 		yield.KPChainBeforeSwing:   ClassChain,
+		yield.RGEnqClaim:           ClassEnqCAS,
+		yield.RGDeqClaim:           ClassDeqCAS,
+		yield.RGSegAdvance:         ClassChain,
+		yield.RGRetry:              ClassRetry,
 		yield.SHEnqTicket:          ClassTicket,
 		yield.SHDeqTicket:          ClassTicket,
 		yield.WQBeforePark:         ClassPark,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wfq/internal/core"
+	"wfq/internal/ring"
 	"wfq/internal/sharded"
 	"wfq/internal/xrand"
 	"wfq/internal/yield"
@@ -60,9 +61,10 @@ func (c *Config) fill() {
 
 // AllScenarios lists the frontends a chaos run can target: the core
 // wait-free queue (GC reclamation), the fast-path/slow-path engine, the
-// hazard-pointer variant, the sharded ticket-dispatch frontend, and the
-// blocking/Close lifecycle frontend.
-var AllScenarios = []string{"core-gc", "core-fast", "core-hp", "sharded", "blocking"}
+// hazard-pointer variant, the sharded ticket-dispatch frontend, the
+// ring-segment storage backend (alone and behind the dispatcher), and
+// the blocking/Close lifecycle frontend.
+var AllScenarios = []string{"core-gc", "core-fast", "core-hp", "sharded", "ring", "ring-sharded", "blocking"}
 
 // Result is one run's report, JSON-ready for cmd/wfqchaos.
 type Result struct {
@@ -156,6 +158,40 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 		return &frontend{
 			name: name, patience: core.DefaultPatience, emptyRuns: 2 * nshards,
 			classes: AllClasses,
+			enq:     func(tid int, v int64) { q.EnqueueTicket(tid, v) },
+			deq:     q.Dequeue,
+			enqBatch: func(tid int, vs []int64) {
+				q.EnqueueBatch(tid, vs)
+			},
+			deqBatch: q.DequeueBatch,
+			maxPhase: q.MaxObservedPhase,
+		}, nil
+	case "ring":
+		q := ring.New[int64](nthreads, 0)
+		return &frontend{
+			// A frozen ring victim costs survivors at most one burned
+			// slot (enq side) or one helped boundary CAS — the step
+			// budget it gets is the same zero-patience one as core-gc.
+			name: name, patience: 0, emptyRuns: 1,
+			classes:  Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassRetry),
+			enq:      q.Enqueue,
+			deq:      q.Dequeue,
+			enqBatch: q.EnqueueBatch,
+			deqBatch: q.DequeueBatch,
+			maxPhase: func() int64 { return 0 },
+		}, nil
+	case "ring-sharded":
+		const nshards = 4
+		shards := make([]sharded.Shard[int64], nshards)
+		for i := range shards {
+			// Small segments so the antagonist actually lands on
+			// boundary crossings, not just slot claims.
+			shards[i] = ring.New[int64](nthreads, 64)
+		}
+		q := sharded.NewOf[int64](nthreads, shards)
+		return &frontend{
+			name: name, patience: 0, emptyRuns: 2 * nshards,
+			classes: Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry),
 			enq:     func(tid int, v int64) { q.EnqueueTicket(tid, v) },
 			deq:     q.Dequeue,
 			enqBatch: func(tid int, vs []int64) {

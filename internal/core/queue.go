@@ -65,6 +65,8 @@ type config struct {
 	patience    int
 	shards      int
 	arenaBlock  int
+	ringSeg     int
+	ring        bool
 	arena       bool
 	randomHelp  bool
 	clearOnExit bool
@@ -117,6 +119,32 @@ func ShardsOf(opts ...Option) int {
 		o(&c)
 	}
 	return c.shards
+}
+
+// WithRing requests the ring-segment storage backend (internal/ring) in
+// place of the linked-node queue: contiguous slot segments claimed by
+// fetch-and-add, segments chained only at the boundary, retired segments
+// recycled through a bounded free list. segSize is the slots-per-segment
+// count (<= 0 selects the backend's default). Like WithShards, the
+// option is consumed by the composing constructor (package wfq) via
+// RingOf and ignored by New — the core Queue is always the linked KP
+// algorithm. It composes with WithShards (ring shards behind the ticket
+// dispatcher) and is ignored by NewHP.
+func WithRing(segSize int) Option {
+	return func(c *config) {
+		c.ring = true
+		c.ringSeg = segSize
+	}
+}
+
+// RingOf resolves the ring request of opts: ok reports whether WithRing
+// was present, segSize its (possibly <= 0, meaning default) segment size.
+func RingOf(opts ...Option) (segSize int, ok bool) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.ringSeg, c.ring
 }
 
 // WithHelpChunk sets k, the number of state-array entries a VariantOpt1/

@@ -10,6 +10,7 @@ import (
 	"wfq/internal/core"
 	"wfq/internal/msqueue"
 	"wfq/internal/queues"
+	"wfq/internal/ring"
 	"wfq/internal/sharded"
 	"wfq/internal/universal"
 )
@@ -106,6 +107,39 @@ func FastWFArena() Algorithm {
 	return Algorithm{Name: "fast WF (arena)", New: func(n int) queues.Queue {
 		return core.New[int64](n, core.WithFastPath(0), core.WithArena(0),
 			core.WithDescriptorCache(), core.WithMetrics())
+	}}
+}
+
+// RingWF is the ring-segment storage backend (internal/ring): contiguous
+// FAA-claimed slot segments instead of linked nodes — the cache-shaped
+// engine. Single FIFO, zero steady-state allocations, lock-free (see the
+// ring package comment for the honest progress claim).
+func RingWF() Algorithm {
+	return Algorithm{Name: "ring WF", New: func(n int) queues.Queue {
+		return ring.New[int64](n, 0)
+	}}
+}
+
+// ShardedRingWF is the sharded ticket dispatcher over ring-segment
+// shards — both FAA layers stacked: one FAA to pick the shard, one FAA
+// to claim the slot.
+func ShardedRingWF() Algorithm {
+	return Algorithm{Name: "sharded ring WF", Shards: shardedDefault, New: func(n int) queues.Queue {
+		shards := make([]sharded.Shard[int64], shardedDefault)
+		for i := range shards {
+			shards[i] = ring.New[int64](n, 0)
+		}
+		return shardedBatch{sharded.NewOf[int64](n, shards)}
+	}}
+}
+
+// BlockingRingWF is the public facade over the ring backend with the
+// blocking/lifecycle layer wired (close-aware enqueue, parking
+// DequeueCtx, Close-driven drain) — the WithRing acceptance
+// configuration of the blocking workloads.
+func BlockingRingWF() Algorithm {
+	return Algorithm{Name: "blocking ring WF", New: func(n int) queues.Queue {
+		return wfq.New[int64](n, wfq.WithRing(0))
 	}}
 }
 
@@ -248,7 +282,8 @@ func Figure9Algorithms() []Algorithm {
 func AllAlgorithms() []Algorithm {
 	return []Algorithm{
 		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), FastWF(),
-		FastWFArena(), ShardedWF(), BlockingWF(), BlockingShardedWF(),
+		FastWFArena(), RingWF(), ShardedWF(), ShardedRingWF(),
+		BlockingWF(), BlockingShardedWF(), BlockingRingWF(),
 		OptWF12Random(), BaseWFClear(), WFHP(),
 		FastWFHP(), ShardedWFHP(), LFHP(), Universal(), TwoLock(), Mutex(),
 	}

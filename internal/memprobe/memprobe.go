@@ -50,3 +50,17 @@ func Mean(samples []uint64) float64 {
 	}
 	return sum / float64(len(samples))
 }
+
+// Max returns the largest sample, or 0 for an empty slice. The
+// space-overhead tables report means; the ring footprint probe also
+// wants the high-water mark, because the ring's claim is a BOUND on the
+// live structure, not just a good average.
+func Max(samples []uint64) uint64 {
+	var m uint64
+	for _, s := range samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,59 @@
+package ring
+
+import (
+	"testing"
+
+	"wfq/internal/model"
+)
+
+// decodeOp maps one fuzz byte to a (tid, isEnqueue) pair, mirroring the
+// core package's fuzz decoding so corpora transfer between the fuzzers.
+func decodeOp(b byte, nthreads int) (tid int, enq bool) {
+	return int(b>>1) % nthreads, b&1 == 0
+}
+
+// FuzzRing feeds the same byte-decoded op sequence to ring queues of
+// several segment sizes and to the sequential model in lockstep. Any
+// divergence in values, emptiness, or lengths is a bug in the slot
+// state machine or the boundary protocol; segSize 1 and 4 make the
+// fuzzer cross boundaries on nearly every operation.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{0x00, 0x02, 0x01, 0x03})                         // enq enq deq deq
+	f.Add([]byte{0x01})                                           // deq on empty
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x01, 0x01}) // fill past a boundary
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nthreads = 4
+		for _, segSize := range []int{1, 4, 64, 0} {
+			q := New[int64](nthreads, segSize)
+			var ref model.Queue
+			for i, b := range data {
+				tid, enq := decodeOp(b, nthreads)
+				if enq {
+					q.Enqueue(tid, int64(i))
+					ref.Enqueue(int64(i))
+				} else {
+					v, ok := q.Dequeue(tid)
+					rv, rok := ref.Dequeue()
+					if ok != rok || v != rv {
+						t.Fatalf("segSize=%d op %d (byte %#x): got (%d,%v), want (%d,%v)",
+							segSize, i, b, v, ok, rv, rok)
+					}
+				}
+				if q.Len() != ref.Len() {
+					t.Fatalf("segSize=%d op %d: Len %d, want %d", segSize, i, q.Len(), ref.Len())
+				}
+			}
+			for {
+				v, ok := q.Dequeue(0)
+				rv, rok := ref.Dequeue()
+				if ok != rok || v != rv {
+					t.Fatalf("segSize=%d drain: got (%d,%v), want (%d,%v)", segSize, v, ok, rv, rok)
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+
+	"wfq/internal/lincheck"
+	"wfq/internal/xrand"
+)
+
+// TestLinearizableHistories records genuinely concurrent runs against the
+// ring queue and checks them against a single sequential FIFO. Small
+// segments keep the boundary protocol — where the linearization argument
+// is most delicate — inside nearly every recorded history.
+func TestLinearizableHistories(t *testing.T) {
+	for _, segSize := range []int{2, 8, 64} {
+		for round := 0; round < 10; round++ {
+			const workers = 4
+			const ops = 30
+			q := New[int64](workers, segSize)
+			rec := lincheck.NewRecorder(workers, ops)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(segSize*1000 + round*100 + tid))
+					for i := 0; i < ops; i++ {
+						if rng.Bool() {
+							v := int64(tid)<<32 | int64(i)
+							tok := rec.BeginEnq(tid, v)
+							q.Enqueue(tid, v)
+							rec.EndEnq(tok)
+						} else {
+							tok := rec.BeginDeq(tid)
+							v, ok := q.Dequeue(tid)
+							rec.EndDeq(tok, v, ok)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			var c lincheck.Checker
+			res, err := c.Check(rec.History())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res == lincheck.NotLinearizable {
+				t.Fatalf("segSize=%d round %d: not linearizable", segSize, round)
+			}
+		}
+	}
+}
+
+// TestLinearizableBatchHistories mixes batch enqueues into the recorded
+// histories: each batch element is recorded as its own enqueue spanning
+// the batch call, which is sound because EnqueueBatch linearizes its
+// elements in order within the call's interval.
+func TestLinearizableBatchHistories(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		const workers = 4
+		const ops = 24
+		q := New[int64](workers, 8)
+		rec := lincheck.NewRecorder(workers, ops)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*100 + tid + 555))
+				for i := 0; i < ops; {
+					switch rng.Next() % 3 {
+					case 0:
+						k := rng.Intn(3) + 1
+						if i+k > ops {
+							k = ops - i
+						}
+						vs := make([]int64, k)
+						toks := make([]lincheck.Token, k)
+						for j := range vs {
+							vs[j] = int64(tid)<<32 | int64(i+j)
+							toks[j] = rec.BeginEnq(tid, vs[j])
+						}
+						q.EnqueueBatch(tid, vs)
+						for _, tok := range toks {
+							rec.EndEnq(tok)
+						}
+						i += k
+					case 1:
+						v := int64(tid)<<32 | int64(i)
+						tok := rec.BeginEnq(tid, v)
+						q.Enqueue(tid, v)
+						rec.EndEnq(tok)
+						i++
+					default:
+						tok := rec.BeginDeq(tid)
+						v, ok := q.Dequeue(tid)
+						rec.EndDeq(tok, v, ok)
+						i++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var c lincheck.Checker
+		res, err := c.Check(rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == lincheck.NotLinearizable {
+			t.Fatalf("round %d: not linearizable", round)
+		}
+	}
+}

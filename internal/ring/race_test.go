@@ -1,0 +1,190 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wfq/internal/yield"
+)
+
+// TestBurnWindow forces the central slot race: an enqueuer claims a slot
+// and stalls between the claim FAA and the commit CAS. A dequeuer that
+// claims the same slot must not wait for it — it burns the slot
+// (empty -> unsafe), observes the segment has no later committed work,
+// and reports empty. The resumed enqueuer's commit CAS fails and its
+// value lands in a fresh slot, where the next dequeue finds it.
+func TestBurnWindow(t *testing.T) {
+	const enq, deq = 0, 1
+	q := New[int64](2, 8)
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.RGEnqClaim && caller == enq {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(enq, 42) // claims slot 0, parks before the commit CAS
+		close(done)
+	}()
+	<-parked
+
+	// Slot 0 is claimed but uncommitted. The dequeuer burns it and must
+	// report empty — the enqueue has not linearized, and waiting on the
+	// parked enqueuer would forfeit lock-freedom.
+	if v, ok := q.Dequeue(deq); ok {
+		t.Fatalf("dequeue during burn window returned (%d,true), want empty", v)
+	}
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("enqueuer never completed after burn")
+	}
+
+	// The retried commit landed the value in a later slot.
+	if v, ok := q.Dequeue(deq); !ok || v != 42 {
+		t.Fatalf("post-burn dequeue = (%d,%v), want (42,true)", v, ok)
+	}
+	st := q.Stats()
+	if st.DeqBurns != 1 || st.EnqRetries != 1 {
+		t.Fatalf("stats after burn window: %+v", st)
+	}
+}
+
+// TestFrozenClaimWindow freezes a dequeuer between its claim FAA and the
+// slot inspection while it holds a committed value. A second dequeuer
+// must overtake it (taking the NEXT value — the frozen claim owns its
+// slot exclusively), and the frozen dequeuer still receives its value on
+// resume: both deliveries, no duplicates, no blocking.
+func TestFrozenClaimWindow(t *testing.T) {
+	const enq, frozen, overtaker = 0, 1, 2
+	q := New[int64](3, 8)
+	q.Enqueue(enq, 1)
+	q.Enqueue(enq, 2)
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.RGDeqClaim && caller == frozen {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	got := make(chan int64, 1)
+	go func() {
+		v, ok := q.Dequeue(frozen) // claims slot 0 (value 1), freezes
+		if !ok {
+			t.Error("frozen dequeuer came back empty")
+		}
+		got <- v
+	}()
+	<-parked
+
+	// The overtaker claims slot 1 and takes value 2 — legal, because its
+	// interval overlaps the frozen dequeue, which linearizes first (at
+	// its earlier claim FAA).
+	if v, ok := q.Dequeue(overtaker); !ok || v != 2 {
+		t.Fatalf("overtaking dequeue = (%d,%v), want (2,true)", v, ok)
+	}
+
+	close(resume)
+	select {
+	case v := <-got:
+		if v != 1 {
+			t.Fatalf("frozen dequeuer got %d, want 1", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frozen dequeuer never completed")
+	}
+	if _, ok := q.Dequeue(overtaker); ok {
+		t.Fatal("queue not empty after both deliveries")
+	}
+	if st := q.Stats(); st.DeqBurns != 0 {
+		t.Fatalf("burns during frozen-claim window: %+v", st)
+	}
+}
+
+// TestBoundaryInstallRace races two enqueuers through the segment
+// boundary: the victim overshoots, allocates a fresh segment, and parks
+// just before the install CAS; a rival installs its own segment first.
+// The victim's install must fail cleanly — the pristine loser segment
+// goes back to the free list, not to the chain — and the victim's value
+// lands in the rival's segment on retry.
+func TestBoundaryInstallRace(t *testing.T) {
+	const victim, rival = 0, 1
+	q := New[int64](2, 2)
+	q.Enqueue(rival, 1)
+	q.Enqueue(rival, 2) // segment full: next enqueue overshoots
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.RGSegAdvance && caller == victim {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(victim, 3) // overshoots, parks holding a fresh segment
+		close(done)
+	}()
+	<-parked
+
+	q.Enqueue(rival, 4) // installs the next segment and lands value 4
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim enqueuer never completed")
+	}
+
+	st := q.Stats()
+	if st.Allocated != 3 {
+		t.Fatalf("expected 3 allocations (root + two fresh), got %+v", st)
+	}
+	if int64(st.FreeSegments)+st.Dropped == 0 {
+		t.Fatalf("losing segment neither recycled nor dropped: %+v", st)
+	}
+	if st.LiveSegments != 2 {
+		t.Fatalf("chain length %d after one boundary, want 2: %+v", st.LiveSegments, st)
+	}
+
+	// FIFO prefix 1, 2 from the first segment; 3 and 4 raced for order in
+	// the second.
+	for _, want := range []int64{1, 2} {
+		if v, ok := q.Dequeue(rival); !ok || v != want {
+			t.Fatalf("drain = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	a, okA := q.Dequeue(rival)
+	b, okB := q.Dequeue(rival)
+	if !okA || !okB || (a != 3 && a != 4) || (b != 3 && b != 4) || a == b {
+		t.Fatalf("raced tail drain = (%d,%v),(%d,%v), want {3,4}", a, okA, b, okB)
+	}
+	if _, ok := q.Dequeue(rival); ok {
+		t.Fatal("queue not empty after drain")
+	}
+}

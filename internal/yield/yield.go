@@ -131,6 +131,24 @@ const (
 	// WQCloseBroadcast fires inside Close after the closed flag is set,
 	// before the broadcast that wakes all parked waiters.
 	WQCloseBroadcast
+	// RGEnqClaim fires in the ring-segment backend (internal/ring)
+	// between an enqueuer's slot-claim FAA and its commit CAS — the
+	// window in which the slot index is spoken for and the value is
+	// written but not yet visible, so a dequeuer reaching the same index
+	// legitimately burns it (empty→unsafe) and the enqueuer must re-claim.
+	RGEnqClaim
+	// RGDeqClaim fires between a dequeuer's slot-claim FAA and its state
+	// inspection — the window in which the claimed slot may flip from
+	// empty to committed under the dequeuer, deciding burn vs consume.
+	RGDeqClaim
+	// RGSegAdvance fires before each segment-boundary CAS of the ring
+	// backend (next-segment install, tail swing, head swing) — a thread
+	// frozen here leaves the boundary crossing for others to finish.
+	RGSegAdvance
+	// RGRetry fires at the top of each ring enqueue/dequeue attempt loop,
+	// making the (burn-bounded) retries visible to the step-bound
+	// watchdog.
+	RGRetry
 	numPoints int = iota
 )
 
@@ -146,6 +164,7 @@ var pointNames = [numPoints]string{
 	"MSBeforeAppend", "MSBeforeHeadCAS",
 	"SHEnqTicket", "SHDeqTicket",
 	"WQPrepare", "WQBeforePark", "WQAfterWake", "WQNotify", "WQCloseBroadcast",
+	"RGEnqClaim", "RGDeqClaim", "RGSegAdvance", "RGRetry",
 }
 
 // String returns the symbolic name of the point.

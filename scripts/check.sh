@@ -6,7 +6,7 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/core/ ./internal/hazard/ ./internal/sharded/
+go test -race ./internal/core/ ./internal/hazard/ ./internal/sharded/ ./internal/ring/
 # Blocking stress under the race detector: the parking layer's lost-
 # wakeup and close/drain interleavings (internal/waiter), plus the
 # facade-level choreographed races and the concurrent close-drain
@@ -18,9 +18,14 @@ go test -race -run 'TestEnqueueNotifyRacesChainSwing|TestCloseDrainConcurrent|Te
 # (regression corpora run in `go test` above; these probe fresh inputs).
 go test -run='^$' -fuzz='^FuzzSharded$' -fuzztime=10s ./internal/sharded/
 go test -run='^$' -fuzz='^FuzzBatchCore$' -fuzztime=10s ./internal/core/
+go test -run='^$' -fuzz='^FuzzRing$' -fuzztime=10s ./internal/ring/
 # Chaos smoke: the seeded stall-injection antagonist + wait-freedom
 # step-bound watchdog across every frontend and adversary profile,
 # under the race detector (exits nonzero on any violation, with the
 # captured point trace).
 go test -race ./internal/chaos/
 go run -race ./cmd/wfqchaos -quick
+# Ring bench smoke: the ring backend's fast path must run, not just
+# pass tests — a one-point comparison against fast WF catches gross
+# perf regressions (committed numbers live in results/BENCH_ring.json).
+go run ./cmd/wfqbench -algs 'fast WF,ring WF' -workload pairs -threads 1 -iters 5000 -repeats 1

@@ -56,6 +56,7 @@ package wfq
 
 import (
 	"wfq/internal/core"
+	"wfq/internal/ring"
 	"wfq/internal/sharded"
 	"wfq/internal/tid"
 	"wfq/internal/waiter"
@@ -129,6 +130,20 @@ var (
 	// the hot head/tail words and the helping state-array are split n
 	// ways. See the Sharding section of README.md and ALGORITHM.md.
 	WithShards = core.WithShards
+	// WithRing(segSize) replaces the linked-node engine with the
+	// ring-segment storage backend (internal/ring): elements live in
+	// contiguous slot segments claimed by one fetch-and-add per
+	// operation, segments are chained only at the boundary, and retired
+	// segments recycle through a bounded free list — zero steady-state
+	// allocations and cache-sequential access. segSize <= 0 selects the
+	// default (1024 slots). Ordering stays a single FIFO; progress is
+	// lock-free (bounded interference per operation) rather than the
+	// linked engine's strict wait-freedom — see ALGORITHM.md,
+	// "Ring-segment storage". Composes with WithShards (ring shards
+	// behind the ticket dispatcher); the other engine options
+	// (WithVariant, WithFastPath, WithArena, ...) do not apply to the
+	// ring engine and are ignored.
+	WithRing = core.WithRing
 )
 
 // backend is the queue engine behind the public API: either a single
@@ -169,12 +184,26 @@ type Queue[T any] struct {
 func New[T any](maxThreads int, opts ...Option) *Queue[T] {
 	all := append([]Option{WithVariant(Opt12)}, opts...)
 	q := &Queue[T]{reg: tid.NewRegistry(maxThreads)}
+	segSize, useRing := core.RingOf(all...)
 	if n := core.ShardsOf(all...); n > 1 {
-		q.sh = sharded.New[T](maxThreads, n, all...)
+		if useRing {
+			shards := make([]sharded.Shard[T], n)
+			for i := range shards {
+				shards[i] = ring.New[T](maxThreads, segSize)
+			}
+			q.sh = sharded.NewOf[T](maxThreads, shards)
+		} else {
+			q.sh = sharded.New[T](maxThreads, n, all...)
+		}
 		q.q = q.sh
 		q.g = q.sh.Gate()
 		q.src = q.sh
 		q.cycle = q.sh.Shards()
+	} else if useRing {
+		q.q = ring.New[T](maxThreads, segSize)
+		q.g = waiter.NewGate(maxThreads)
+		q.src = singleSource[T]{q: q.q}
+		q.cycle = 1
 	} else {
 		q.q = core.New[T](maxThreads, all...)
 		q.g = waiter.NewGate(maxThreads)
