@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wfqchaos [-scenarios core-gc,core-fast,core-hp,sharded,blocking]
+//	wfqchaos [-scenarios core-gc,core-fast,core-hp,sharded,ring,ring-wf,blocking]
 //	         [-profiles single-stall,rolling-stall,permanent-kill]
 //	         [-threads N] [-ops N] [-seed S] [-deadline D]
 //	         [-quick] [-json FILE]

@@ -42,11 +42,12 @@ func main() {
 		"fast WF+HP":          "wait-free (fast path), no GC needed",
 		"sharded WF":          "wait-free (per-shard FIFO)",
 		"sharded WF+HP":       "wait-free (per-shard FIFO), no GC",
-		"ring WF":             "lock-free (FAA ring segments, 0 allocs/op)",
-		"sharded ring WF":     "lock-free (per-shard FIFO, FAA ring segments)",
+		"ring WF":             "wait-free (bounded helping, FAA ring, 0 allocs/op)",
+		"ring LF":             "lock-free (helping off, FAA ring segments)",
+		"sharded ring WF":     "wait-free (per-shard FIFO, FAA ring segments)",
 		"blocking WF":         "wait-free ops, parking consumers",
 		"blocking sharded WF": "wait-free ops (per-shard FIFO), parking consumers",
-		"blocking ring WF":    "lock-free ops (ring segments), parking consumers",
+		"blocking ring WF":    "wait-free ops (ring segments), parking consumers",
 		"opt WF (1+2) rnd":    "wait-free (probabilistic)",
 		"base WF (clear)":     "wait-free",
 		"base WF+HP":          "wait-free, no GC needed",

@@ -73,11 +73,18 @@ const (
 	// bounded fast-path attempts) — delay targets rather than
 	// freeze-and-leave-broken targets.
 	ClassRetry
+	// ClassHelp: the ring backend's wait-free slow path — record
+	// publish, ticket publish, helper scan, finalize, promote. A thread
+	// frozen here leaves a pending request descriptor (and possibly a
+	// reserved slot) that the helping protocol obliges everyone else to
+	// finish; the watchdog bound must survive victims parked at every
+	// one of these windows.
+	ClassHelp
 	numClasses
 )
 
 var classNames = [numClasses]string{
-	"enq-cas", "deq-cas", "chain", "ticket", "park", "retry",
+	"enq-cas", "deq-cas", "chain", "ticket", "park", "retry", "help",
 }
 
 // String returns the class's symbolic name.
@@ -107,6 +114,9 @@ func Classify(p yield.Point) Class {
 	case yield.WQPrepare, yield.WQBeforePark, yield.WQAfterWake,
 		yield.WQNotify, yield.WQCloseBroadcast:
 		return ClassPark
+	case yield.RGHelpPublish, yield.RGHelpClaim, yield.RGHelpTicket,
+		yield.RGHelpScan, yield.RGHelpFinalize, yield.RGHelpPromote:
+		return ClassHelp
 	default:
 		// KPHelpScan, KPEnqRetry, KPDeqRetry, KPFastEnqAttempt,
 		// KPFastDeqAttempt, RGRetry.

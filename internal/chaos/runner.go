@@ -62,9 +62,13 @@ func (c *Config) fill() {
 // AllScenarios lists the frontends a chaos run can target: the core
 // wait-free queue (GC reclamation), the fast-path/slow-path engine, the
 // hazard-pointer variant, the sharded ticket-dispatch frontend, the
-// ring-segment storage backend (alone and behind the dispatcher), and
-// the blocking/Close lifecycle frontend.
-var AllScenarios = []string{"core-gc", "core-fast", "core-hp", "sharded", "ring", "ring-sharded", "blocking"}
+// ring-segment storage backend (the lock-free baseline without helping,
+// and the wait-free helping configuration, each alone and behind the
+// dispatcher), and the blocking/Close lifecycle frontend.
+var AllScenarios = []string{
+	"core-gc", "core-fast", "core-hp", "sharded",
+	"ring", "ring-sharded", "ring-wf", "ring-wf-sharded", "blocking",
+}
 
 // Result is one run's report, JSON-ready for cmd/wfqchaos.
 type Result struct {
@@ -167,7 +171,10 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 			maxPhase: q.MaxObservedPhase,
 		}, nil
 	case "ring":
-		q := ring.New[int64](nthreads, 0)
+		// Lock-free baseline: helping disabled, so this row documents
+		// what the PR-6 ring alone withstands (burn-bounded retries, no
+		// slow path for the antagonist to freeze).
+		q := ring.New[int64](nthreads, 0, ring.WithoutHelping())
 		return &frontend{
 			// A frozen ring victim costs survivors at most one burned
 			// slot (enq side) or one helped boundary CAS — the step
@@ -186,12 +193,49 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 		for i := range shards {
 			// Small segments so the antagonist actually lands on
 			// boundary crossings, not just slot claims.
-			shards[i] = ring.New[int64](nthreads, 64)
+			shards[i] = ring.New[int64](nthreads, 64, ring.WithoutHelping())
 		}
 		q := sharded.NewOf[int64](nthreads, shards)
 		return &frontend{
 			name: name, patience: 0, emptyRuns: 2 * nshards,
 			classes: Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry),
+			enq:     func(tid int, v int64) { q.EnqueueTicket(tid, v) },
+			deq:     q.Dequeue,
+			enqBatch: func(tid int, vs []int64) {
+				q.EnqueueBatch(tid, vs)
+			},
+			deqBatch: q.DequeueBatch,
+			maxPhase: q.MaxObservedPhase,
+		}, nil
+	case "ring-wf":
+		// Wait-free ring: patience 0 drives every operation through the
+		// helping slow path, and ClassHelp exposes the record-publish,
+		// claim, ticket, scan, finalize, and promote windows to the
+		// antagonist — victims freeze mid-help and the survivors' step
+		// bounds must hold while they finish the victims' operations.
+		q := ring.New[int64](nthreads, 0, ring.WithPatience(0))
+		return &frontend{
+			name: name, patience: 0, emptyRuns: 1,
+			classes:  Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassRetry, ClassHelp),
+			enq:      q.Enqueue,
+			deq:      q.Dequeue,
+			enqBatch: q.EnqueueBatch,
+			deqBatch: q.DequeueBatch,
+			maxPhase: func() int64 { return 0 },
+		}, nil
+	case "ring-wf-sharded":
+		const nshards = 4
+		shards := make([]sharded.Shard[int64], nshards)
+		for i := range shards {
+			// Small segments + patience 0: boundary crossings, ticketed
+			// segment drops, and helping records all behind the ticket
+			// dispatcher.
+			shards[i] = ring.New[int64](nthreads, 64, ring.WithPatience(0))
+		}
+		q := sharded.NewOf[int64](nthreads, shards)
+		return &frontend{
+			name: name, patience: 0, emptyRuns: 2 * nshards,
+			classes: Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry, ClassHelp),
 			enq:     func(tid int, v int64) { q.EnqueueTicket(tid, v) },
 			deq:     q.Dequeue,
 			enqBatch: func(tid int, vs []int64) {

@@ -147,6 +147,19 @@ func RingOf(opts ...Option) (segSize int, ok bool) {
 	return c.ringSeg, c.ring
 }
 
+// FastPathOf resolves the fast-path request of opts: ok reports whether
+// WithFastPath selected VariantFast, patience its resolved attempt bound
+// (WithFastPath already normalizes <= 0 to DefaultPatience). Composing
+// constructors use it to translate the facade's patience to backends
+// with their own fast/slow split (the ring backend's helping protocol).
+func FastPathOf(opts ...Option) (patience int, ok bool) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.patience, c.variant == VariantFast
+}
+
 // WithHelpChunk sets k, the number of state-array entries a VariantOpt1/
 // VariantOpt12 operation examines for helping (§3.3 allows any 1 ≤ k < n;
 // the paper's evaluation uses k = 1, the default).

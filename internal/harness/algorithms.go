@@ -112,11 +112,23 @@ func FastWFArena() Algorithm {
 
 // RingWF is the ring-segment storage backend (internal/ring): contiguous
 // FAA-claimed slot segments instead of linked nodes — the cache-shaped
-// engine. Single FIFO, zero steady-state allocations, lock-free (see the
-// ring package comment for the honest progress claim).
+// engine. Single FIFO, zero steady-state allocations, wait-free: after
+// DefaultPatience failed fast-path attempts an operation publishes a
+// helping record and peers finish it from its ticket (see the ring
+// package comment and ALGORITHM.md, "Wait-free ring helping").
 func RingWF() Algorithm {
 	return Algorithm{Name: "ring WF", New: func(n int) queues.Queue {
 		return ring.New[int64](n, 0)
+	}}
+}
+
+// RingLF is the ring backend with helping disabled — the PR-6 lock-free
+// configuration, kept as the baseline that prices the helping machinery
+// (the fast paths are identical; only the record table, the slow gate
+// check, and the patience counter differ).
+func RingLF() Algorithm {
+	return Algorithm{Name: "ring LF", New: func(n int) queues.Queue {
+		return ring.New[int64](n, 0, ring.WithoutHelping())
 	}}
 }
 
@@ -282,7 +294,7 @@ func Figure9Algorithms() []Algorithm {
 func AllAlgorithms() []Algorithm {
 	return []Algorithm{
 		LF(), BaseWF(), OptWF1(), OptWF2(), OptWF12(), FastWF(),
-		FastWFArena(), RingWF(), ShardedWF(), ShardedRingWF(),
+		FastWFArena(), RingWF(), RingLF(), ShardedWF(), ShardedRingWF(),
 		BlockingWF(), BlockingShardedWF(), BlockingRingWF(),
 		OptWF12Random(), BaseWFClear(), WFHP(),
 		FastWFHP(), ShardedWFHP(), LFHP(), Universal(), TwoLock(), Mutex(),

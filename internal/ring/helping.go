@@ -1,0 +1,444 @@
+// Wait-free slow path for the ring backend, in the direction of wCQ
+// ("wCQ: A Fast Wait-Free Queue with Bounded Memory Usage", PAPERS.md):
+// per-thread helping records with bounded memory bolted onto the SCQ-style
+// fast path. See ALGORITHM.md, "Wait-free ring helping".
+//
+// # The protocol in one paragraph
+//
+// An operation that exhausts its fast-path patience (too many burns or
+// boundary overshoots) publishes a request descriptor in its pre-allocated
+// helping record and raises a global slow gate. It then claims slots
+// exactly like the fast path, but before touching the claimed slot it
+// publishes a TICKET — a versioned word naming the claimed (segment,
+// index) — so that from that moment ANY thread can finish the operation
+// from public state alone. Threads entering an operation while the gate
+// is up make one bounded help attempt per pending record; dequeuers that
+// claim a slot a slow enqueuer has reserved finish that enqueue inline
+// instead of burning it. Completion is funnelled through a single CAS on
+// the record's control word (pending -> done), which is what makes the
+// operation happen exactly once no matter how many helpers race.
+//
+// # Words and their encodings
+//
+//	ctl  = seq<<3 | state      request descriptor: one state machine
+//	                           idle -> enqPending -> doneEnq -> idle
+//	                           idle -> deqPending -> doneDeqVal|doneDeqEmpty -> idle
+//	                           seq increments once per published request, so a
+//	                           finalize CAS can only land on the request it
+//	                           was read from.
+//	resv = seq<<16 | tid       slot identity word: written by the ticket's
+//	                           owner BEFORE the ticket is published, so a
+//	                           claimant finding the slot reserved can find
+//	                           the record (tid) and the request (seq) that
+//	                           reserved it without any ambient context.
+//	tPub = kind<<63|tkt<<20|idx+1  the ticket. tkt is monotone over the
+//	                           record's lifetime, so a ticket word never
+//	                           repeats; 0 means "no ticket".
+//
+// # Why helpers can trust what they read
+//
+// Ticket reads are seqlock-style: read tPub, read tSeg, re-read tPub and
+// require equality. Every tSeg move is preceded by a tPub store of 0 and
+// ticket words never repeat, so equal non-zero reads bracket a consistent
+// (segment, index) pair. Publish order gives the second leg: the owner
+// zeroes tPub before storing a new pending ctl, so a ticket observed
+// AFTER reading a pending ctl belongs to that pending request (deq
+// helpers re-check this before finalizing; enq helpers don't need to —
+// the slot's resv word names the request directly).
+//
+// # Why a stale helper can never corrupt a slot
+//
+// The owner reassigns its ticket only after observing the previous
+// attempt's slot terminal (unsafe), and it promotes its reserved slot to
+// committed BEFORE idling the record. So every slot a retired ticket ever
+// named is terminal (committed/consumed/unsafe) forever — provided the
+// segment is never reset. That is exactly why segments that ever hosted
+// a ticket are dropped to the GC at retirement instead of being recycled
+// (see retire): resetting one would re-arm the empty state a stale
+// helper's reserve CAS needs. The cost is one garbage segment per slow
+// attempt that crossed a boundary — the fast-path steady state still
+// recycles and allocates nothing.
+//
+// # What the slow path buys
+//
+// A frozen thread can stall a peer's ring operation in three ways: the
+// burn-and-retry loop (a dequeuer repeatedly burns the enqueuer's
+// claims), the segment-boundary install, and the free-list recycle race.
+// The boundary and recycle windows were already help-complete in PR 6
+// (any thread finishes the install/swing; the retire scan refuses unsafe
+// recycling). The burn loop was not: it is the window this file closes.
+// Once a slow enqueuer's ticket is public, a dequeuer that claims the
+// reserved slot FINISHES the enqueue (resolveReserved) rather than
+// burning it, and every op entering while the gate is up helps pending
+// requests directly — so a request with a published ticket completes
+// after a bounded amount of any thread's work. What remains probabilistic
+// is only the pre-publish stretch: the patience-bounded fast attempts
+// plus the one claim between publish and ticket, each charged to another
+// thread's completed linearization (the lock-free argument). ALGORITHM.md
+// states the resulting guarantee honestly.
+package ring
+
+import (
+	"sync/atomic"
+
+	"wfq/internal/yield"
+)
+
+// DefaultPatience is the number of failed fast-path attempts (burned
+// commits, boundary overshoots) an operation tolerates before publishing
+// a helping record, when New was not given an explicit patience. Mirrors
+// the fast-path engine's default gate.
+const DefaultPatience = 8
+
+// Request states for the ctl word's low bits.
+const (
+	hsIdle uint64 = iota
+	hsEnqPending
+	hsDeqPending
+	hsDoneEnq
+	hsDoneDeqVal
+	hsDoneDeqEmpty
+	hsMask uint64 = 7
+)
+
+func ctlWord(seq, state uint64) uint64 { return seq<<3 | state }
+func ctlState(w uint64) uint64         { return w & hsMask }
+func ctlSeq(w uint64) uint64           { return w >> 3 }
+
+// resv packs the reserving request's identity into the slot.
+func packResv(tid int, seq uint64) uint64 { return seq<<16 | uint64(tid) }
+func unpackResv(w uint64) (tid int, seq uint64) {
+	return int(w & 0xffff), w >> 16
+}
+
+// Ticket word layout. idx is stored +1 so the zero word means "none".
+const (
+	tktKindDeq uint64 = 1 << 63
+	tktIdxMask uint64 = 1<<20 - 1
+	// maxSegSlots bounds segSize so a slot index always fits the ticket
+	// word (and tid fits resv's low 16 bits — checked in New).
+	maxSegSlots = int(tktIdxMask) - 1
+	maxThreads  = 1 << 16
+)
+
+func packTicket(deq bool, tkt, idx uint64) uint64 {
+	w := tkt<<20 | (idx + 1)
+	if deq {
+		w |= tktKindDeq
+	}
+	return w
+}
+func ticketIdx(w uint64) uint64 { return w&tktIdxMask - 1 }
+func ticketIsDeq(w uint64) bool { return w&tktKindDeq != 0 }
+
+// helpRec is one thread's pre-allocated helping record. ctl/tPub/tSeg
+// are the public protocol words; seq and tkt are owner-private mirrors
+// (the owner is the only writer of the public words, so it needs no
+// atomics to remember where it is). Padded: records are scanned by
+// helpers but written on every slow attempt.
+type helpRec[T any] struct {
+	ctl  atomic.Uint64
+	tPub atomic.Uint64
+	tSeg atomic.Pointer[segment[T]]
+	seq  uint64
+	tkt  uint64
+	_    [sepBytes - 40]byte
+}
+
+// publishTicket points the record's ticket at the owner's freshly
+// claimed slot. The tPub zero-store before the tSeg move is the seqlock
+// write barrier helpers rely on; s.ticketed is set first, under the
+// owner's announcement of s, so the retirer can never recycle a segment
+// a ticket names (see retire).
+func (rec *helpRec[T]) publishTicket(s *segment[T], deq bool, idx uint64) {
+	s.ticketed.Store(true)
+	rec.tPub.Store(0)
+	rec.tSeg.Store(s)
+	rec.tkt++
+	rec.tPub.Store(packTicket(deq, rec.tkt, idx))
+}
+
+// openRequest publishes a new request descriptor and raises the slow
+// gate. The tPub invalidation precedes the pending ctl store so that a
+// helper reading the new pending state can only observe tickets of THIS
+// request (or none) — the publish-order invariant.
+func (q *Queue[T]) openRequest(tid int, state uint64) (rec *helpRec[T], seq uint64) {
+	rec = &q.recs[tid]
+	rec.seq++
+	seq = rec.seq
+	rec.tPub.Store(0)
+	rec.ctl.Store(ctlWord(seq, state))
+	q.slow.Add(1)
+	yield.At(yield.RGHelpPublish, tid, tid)
+	return rec, seq
+}
+
+// closeRequest retires a completed request: record back to idle, gate
+// down. Callers must have made the request's slot effects durable first
+// (promote/consume) — once the record leaves seq, claimants can no
+// longer attribute the slot to this request.
+func (q *Queue[T]) closeRequest(rec *helpRec[T], seq uint64) {
+	rec.ctl.Store(ctlWord(seq, hsIdle))
+	q.slow.Add(-1)
+}
+
+// enqueueSlow completes an enqueue wait-freely once any claimed slot's
+// ticket is published: from that point the reserve/finalize/promote
+// steps can all be executed by helpers. Called by Enqueue/EnqueueBatch
+// after the fast path ran out of patience.
+func (q *Queue[T]) enqueueSlow(tid int, v T) {
+	q.slowEnqs.Add(1)
+	rec, seq := q.openRequest(tid, hsEnqPending)
+	for {
+		// A helper may have finished the request through the current
+		// ticket while we were between attempts.
+		if rec.ctl.Load() == ctlWord(seq, hsDoneEnq) {
+			q.finishEnqSlow(tid, rec, seq)
+			return
+		}
+		yield.At(yield.RGRetry, tid, tid)
+		s := q.enter(tid, &q.tail)
+		t := s.enqIdx.Add(1) - 1
+		if t >= q.segSize {
+			q.advanceTail(tid, s)
+			continue
+		}
+		yield.At(yield.RGHelpClaim, tid, tid)
+		sl := &s.slots[t]
+		sl.val = v
+		sl.resv.Store(packResv(tid, seq))
+		rec.publishTicket(s, false, t)
+		yield.At(yield.RGHelpTicket, tid, tid)
+		if !sl.state.CompareAndSwap(slotEmpty, slotReserved) &&
+			sl.state.Load() == slotUnsafe {
+			// Burned before anyone reserved: the attempt never happened.
+			// Only now — with this attempt's slot terminal — is moving
+			// the ticket to a new claim safe for stale helpers.
+			q.enqRetries.Add(1)
+			continue
+		}
+		// Reserved (by us or a helper) or already promoted/consumed by
+		// helpers: finalize, then make the slot durable before idling.
+		yield.At(yield.RGHelpFinalize, tid, tid)
+		rec.ctl.CompareAndSwap(ctlWord(seq, hsEnqPending), ctlWord(seq, hsDoneEnq))
+		q.finishEnqSlow(tid, rec, seq)
+		return
+	}
+}
+
+// finishEnqSlow promotes the finalized request's reserved slot to
+// committed (a no-op if a helper or the slot's claimant already did) and
+// retires the record. The promote MUST precede closeRequest: a claimant
+// that finds a reserved slot whose record has moved past seq could no
+// longer prove the request completed through it.
+func (q *Queue[T]) finishEnqSlow(tid int, rec *helpRec[T], seq uint64) {
+	// Ticket assignment is owner-exclusive, so the current ticket is
+	// ours and consistent without the seqlock dance.
+	s := rec.tSeg.Load()
+	sl := &s.slots[ticketIdx(rec.tPub.Load())]
+	yield.At(yield.RGHelpPromote, tid, tid)
+	sl.state.CompareAndSwap(slotReserved, slotCommitted)
+	q.closeRequest(rec, seq)
+}
+
+// dequeueSlow completes a dequeue with helpable claims: each claimed
+// slot's ticket is published before the slot is resolved, so helpers can
+// finalize a committed value on the owner's behalf. Empty results stay
+// owner-only (they need the burn + boundary evidence the owner gathers).
+func (q *Queue[T]) dequeueSlow(tid int) (v T, ok bool) {
+	q.slowDeqs.Add(1)
+	rec, seq := q.openRequest(tid, hsDeqPending)
+	for {
+		if rec.ctl.Load() == ctlWord(seq, hsDoneDeqVal) {
+			return q.finishDeqVal(tid, rec, seq)
+		}
+		yield.At(yield.RGRetry, tid, tid)
+		s := q.enter(tid, &q.head)
+		d := s.deqIdx.Load()
+		if d >= q.segSize {
+			if !q.advanceHead(tid, s) {
+				return q.finishDeqEmpty(tid, rec, seq)
+			}
+			continue
+		}
+		e := s.enqIdx.Load()
+		if d >= e {
+			if s.next.Load() == nil {
+				return q.finishDeqEmpty(tid, rec, seq)
+			}
+			continue
+		}
+		h := s.deqIdx.Add(1) - 1
+		if h >= q.segSize {
+			continue
+		}
+		yield.At(yield.RGHelpClaim, tid, tid)
+		sl := &s.slots[h]
+		rec.publishTicket(s, true, h)
+		yield.At(yield.RGHelpTicket, tid, tid)
+	resolve:
+		for {
+			switch sl.state.Load() {
+			case slotCommitted:
+				yield.At(yield.RGHelpFinalize, tid, tid)
+				rec.ctl.CompareAndSwap(ctlWord(seq, hsDeqPending), ctlWord(seq, hsDoneDeqVal))
+				// Win or lose, doneDeqVal was reached through THIS ticket
+				// (the only one the request ever had live), so the value
+				// at the ticket slot is this request's result.
+				return q.finishDeqVal(tid, rec, seq)
+			case slotReserved:
+				q.resolveReserved(tid, sl)
+			case slotEmpty:
+				yield.At(yield.RGDeqClaim, tid, tid)
+				if sl.state.CompareAndSwap(slotEmpty, slotUnsafe) {
+					q.deqBurns.Add(1)
+					if s.enqIdx.Load() <= h+1 && s.next.Load() == nil {
+						return q.finishDeqEmpty(tid, rec, seq)
+					}
+					break resolve // not provably empty: re-claim
+				}
+			default: // slotUnsafe: our burn; re-claim
+				break resolve
+			}
+		}
+	}
+}
+
+// finishDeqVal reads the result from the current ticket's slot, makes
+// the consumption durable, and retires the record. The consumed store is
+// idempotent against the finalizing helper's.
+func (q *Queue[T]) finishDeqVal(tid int, rec *helpRec[T], seq uint64) (T, bool) {
+	s := rec.tSeg.Load()
+	sl := &s.slots[ticketIdx(rec.tPub.Load())]
+	v := sl.val
+	yield.At(yield.RGHelpPromote, tid, tid)
+	sl.state.Store(slotConsumed)
+	q.closeRequest(rec, seq)
+	return v, true
+}
+
+// finishDeqEmpty finalizes an owner-proven empty observation. Helpers
+// never produce doneDeqEmpty and can only finalize a value through a
+// LIVE ticket, and every path into this function leaves the current
+// ticket dead (slot terminal) or absent — so the CAS cannot lose; the
+// fallback tolerates a protocol violation soundly rather than losing a
+// helped value.
+func (q *Queue[T]) finishDeqEmpty(tid int, rec *helpRec[T], seq uint64) (T, bool) {
+	var zero T
+	if rec.ctl.CompareAndSwap(ctlWord(seq, hsDeqPending), ctlWord(seq, hsDoneDeqEmpty)) {
+		q.closeRequest(rec, seq)
+		return zero, false
+	}
+	return q.finishDeqVal(tid, rec, seq)
+}
+
+// resolveReserved drives a reserved slot forward: finalize the owning
+// enqueue request if it is still pending, then promote the slot to
+// committed. Called by any dequeuer whose claim lands on a reserved slot
+// (instead of burning it — that is the point) and by deq-ticket helpers.
+// Bounded: one finalize CAS plus one promote CAS.
+//
+// Soundness of the unconditional promote: a reserved slot always belongs
+// to its record's CURRENT attempt (tickets move only after the previous
+// slot is terminal, and reserved is not terminal), and its owner always
+// finalizes and promotes before idling — so the request either was
+// finalized through this very slot or is about to be; promoting early
+// merely lets the claimant consume a value whose enqueue is already
+// decided.
+func (q *Queue[T]) resolveReserved(tid int, sl *slot[T]) {
+	owner, seq := unpackResv(sl.resv.Load())
+	rec := &q.recs[owner]
+	if rec.ctl.Load() == ctlWord(seq, hsEnqPending) {
+		yield.At(yield.RGHelpFinalize, tid, owner)
+		if rec.ctl.CompareAndSwap(ctlWord(seq, hsEnqPending), ctlWord(seq, hsDoneEnq)) {
+			q.helpFinalizes.Add(1)
+		}
+	}
+	yield.At(yield.RGHelpPromote, tid, owner)
+	sl.state.CompareAndSwap(slotReserved, slotCommitted)
+}
+
+// helpRecords makes one bounded help attempt per pending record — the
+// O(nthreads) obligation every operation pays at entry while the slow
+// gate is up. Each attempt is O(1).
+func (q *Queue[T]) helpRecords(tid int) {
+	for i := range q.recs {
+		if i == tid {
+			continue
+		}
+		rec := &q.recs[i]
+		st := ctlState(rec.ctl.Load())
+		if st != hsEnqPending && st != hsDeqPending {
+			continue
+		}
+		yield.At(yield.RGHelpScan, tid, i)
+		// Seqlock ticket read; see the package comment.
+		w := rec.tPub.Load()
+		if w == 0 {
+			continue
+		}
+		s := rec.tSeg.Load()
+		if rec.tPub.Load() != w {
+			continue
+		}
+		sl := &s.slots[ticketIdx(w)]
+		if ticketIsDeq(w) {
+			q.helpDeqTicket(tid, i, rec, sl, w)
+		} else {
+			q.helpEnqTicket(tid, i, rec, sl)
+		}
+	}
+}
+
+// helpEnqTicket performs the reserve/finalize/promote steps for an
+// enqueue ticket. The ticket may be stale (the record moved on while we
+// read it): stale tickets only ever name terminal slots — the owner
+// reassigns only after observing unsafe and promotes before idling — so
+// the reserve CAS fails and the finalize CAS (guarded by the seq the
+// slot's resv word names) misses, both benignly.
+func (q *Queue[T]) helpEnqTicket(tid, owner int, rec *helpRec[T], sl *slot[T]) {
+	st := sl.state.Load()
+	if st == slotEmpty {
+		sl.state.CompareAndSwap(slotEmpty, slotReserved)
+		st = sl.state.Load()
+	}
+	if st == slotUnsafe {
+		return // burned before any reserve; the owner re-claims
+	}
+	rOwner, rSeq := unpackResv(sl.resv.Load())
+	if rOwner != owner {
+		return // torn ticket read resolved to someone else's slot
+	}
+	yield.At(yield.RGHelpFinalize, tid, owner)
+	if rec.ctl.CompareAndSwap(ctlWord(rSeq, hsEnqPending), ctlWord(rSeq, hsDoneEnq)) {
+		q.helpFinalizes.Add(1)
+	}
+	yield.At(yield.RGHelpPromote, tid, owner)
+	sl.state.CompareAndSwap(slotReserved, slotCommitted)
+}
+
+// helpDeqTicket finalizes a committed value for a pending slow dequeue.
+// The finalize re-validates ctl-then-ticket in that order: a ticket
+// observed unchanged AFTER reading a pending ctl belongs to that pending
+// request (publish-order invariant), so the CAS can never deliver one
+// request's slot to another request.
+func (q *Queue[T]) helpDeqTicket(tid, owner int, rec *helpRec[T], sl *slot[T], w uint64) {
+	if sl.state.Load() == slotReserved {
+		q.resolveReserved(tid, sl)
+	}
+	if sl.state.Load() != slotCommitted {
+		return // empty/unsafe: only the owner can burn or prove empty
+	}
+	ctl := rec.ctl.Load()
+	if ctlState(ctl) != hsDeqPending {
+		return
+	}
+	if rec.tPub.Load() != w {
+		return
+	}
+	yield.At(yield.RGHelpFinalize, tid, owner)
+	if rec.ctl.CompareAndSwap(ctl, ctlWord(ctlSeq(ctl), hsDoneDeqVal)) {
+		q.helpFinalizes.Add(1)
+		sl.state.Store(slotConsumed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"wfq/internal/lincheck"
 	"wfq/internal/xrand"
+	"wfq/internal/yield"
 )
 
 // TestLinearizableHistories records genuinely concurrent runs against the
@@ -109,6 +110,105 @@ func TestLinearizableBatchHistories(t *testing.T) {
 		}
 		if res == lincheck.NotLinearizable {
 			t.Fatalf("round %d: not linearizable", round)
+		}
+	}
+}
+
+// TestLinearizableHelpedHistories checks the property the helping slow
+// path exists for: an operation COMPLETED BY A HELPER on behalf of a
+// frozen thread must still linearize inside the frozen thread's own
+// interval. Every round freezes one victim at RGHelpTicket — ticket
+// public, reserve not yet attempted, the exact window helpers act in —
+// while the other workers (patience 0, so they both help and go slow
+// themselves) run a full mixed single/batch schedule over and past the
+// frozen operation. The victim is released only after everyone else is
+// done, so any value the helpers delivered out of the victim's pending
+// operation was delivered strictly inside its Begin/End span.
+func TestLinearizableHelpedHistories(t *testing.T) {
+	for _, segSize := range []int{2, 8} {
+		for round := 0; round < 6; round++ {
+			const workers = 4
+			const ops = 24
+			const victim = 0
+			q := New[int64](workers, segSize, WithPatience(0))
+			rec := lincheck.NewRecorder(workers, ops)
+
+			// Freeze the victim at its (round%4+1)-th RGHelpTicket so the
+			// frozen op varies: first op, mid-history, enqueue or dequeue.
+			freezeAt := round%4 + 1
+			parked := make(chan struct{})
+			resume := make(chan struct{})
+			hits := 0
+			prev := yield.Set(func(p yield.Point, caller, owner int) {
+				if p == yield.RGHelpTicket && caller == victim {
+					hits++
+					if hits == freezeAt {
+						close(parked)
+						<-resume
+					}
+				}
+			})
+
+			var victimWG, othersWG sync.WaitGroup
+			run := func(tid int, wg *sync.WaitGroup) {
+				defer wg.Done()
+				rng := xrand.New(uint64(segSize*10000 + round*100 + tid + 77))
+				for i := 0; i < ops; {
+					switch rng.Next() % 4 {
+					case 0:
+						k := rng.Intn(3) + 1
+						if i+k > ops {
+							k = ops - i
+						}
+						vs := make([]int64, k)
+						toks := make([]lincheck.Token, k)
+						for j := range vs {
+							vs[j] = int64(tid)<<32 | int64(i+j)
+							toks[j] = rec.BeginEnq(tid, vs[j])
+						}
+						q.EnqueueBatch(tid, vs)
+						for _, tok := range toks {
+							rec.EndEnq(tok)
+						}
+						i += k
+					case 1, 2:
+						v := int64(tid)<<32 | int64(i)
+						tok := rec.BeginEnq(tid, v)
+						q.Enqueue(tid, v)
+						rec.EndEnq(tok)
+						i++
+					default:
+						tok := rec.BeginDeq(tid)
+						v, ok := q.Dequeue(tid)
+						rec.EndDeq(tok, v, ok)
+						i++
+					}
+				}
+			}
+			victimWG.Add(1)
+			go run(victim, &victimWG)
+			<-parked
+			for w := 1; w < workers; w++ {
+				othersWG.Add(1)
+				go run(w, &othersWG)
+			}
+			othersWG.Wait()
+			close(resume)
+			victimWG.Wait()
+			yield.Set(prev)
+
+			var c lincheck.Checker
+			res, err := c.Check(rec.History())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res == lincheck.NotLinearizable {
+				t.Fatalf("segSize=%d round %d (freezeAt=%d): helped history not linearizable",
+					segSize, round, freezeAt)
+			}
+			if st := q.Stats(); st.SlowEnqs == 0 || st.SlowDeqs == 0 {
+				t.Fatalf("segSize=%d round %d: slow path never engaged: %+v", segSize, round, st)
+			}
 		}
 	}
 }

@@ -188,3 +188,207 @@ func TestBoundaryInstallRace(t *testing.T) {
 		t.Fatal("queue not empty after drain")
 	}
 }
+
+// TestHelpCompletesFrozenEnqueue is the tentpole's headline window: a
+// slow-path enqueuer freezes AFTER publishing its ticket (the claimed
+// slot is public) but BEFORE its reserve CAS. In PR 6 a dequeuer
+// reaching that slot burned it and reported empty — the frozen thread's
+// operation could be starved indefinitely. With helping, the dequeuer's
+// entry help finishes the frozen enqueue from the ticket alone and the
+// dequeue DELIVERS the frozen thread's value while it is still frozen.
+func TestHelpCompletesFrozenEnqueue(t *testing.T) {
+	const frozen, helper = 0, 1
+	q := New[int64](2, 8, WithPatience(0))
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.RGHelpTicket && caller == frozen {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(frozen, 42) // publishes record + ticket, then freezes
+		close(done)
+	}()
+	<-parked
+
+	// The frozen enqueue has not committed anything, yet its completion
+	// is now public obligation: the helper's dequeue must return 42.
+	if v, ok := q.Dequeue(helper); !ok || v != 42 {
+		t.Fatalf("dequeue during helping window = (%d,%v), want (42,true)", v, ok)
+	}
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("frozen enqueuer never completed after help")
+	}
+
+	// Exactly once: the helped value must not reappear.
+	if v, ok := q.Dequeue(helper); ok {
+		t.Fatalf("duplicate delivery after helped enqueue: %d", v)
+	}
+	st := q.Stats()
+	if st.HelpFinalizes == 0 {
+		t.Fatalf("no helper finalize recorded: %+v", st)
+	}
+}
+
+// TestHelperReserveVsBurnCAS races the two CASes that can decide a
+// ticketed slot: the slow enqueuer's reserve (empty -> reserved) against
+// a dequeuer claimant's burn (empty -> unsafe). The enqueuer freezes in
+// the unhelpable stretch (claim taken, ticket not yet public) so the
+// claimant's entry help skips its record; the claimant then claims the
+// SAME slot and freezes before its burn CAS, while the slot is still
+// empty. One release drops both into the race. Either CAS may win: a
+// winning burn sends the enqueuer to a fresh claim, a winning reserve
+// makes the claimant resolve the reservation and consume — in all
+// interleavings the value is delivered exactly once.
+func TestHelperReserveVsBurnCAS(t *testing.T) {
+	const claimant, enq = 0, 1
+	q := New[int64](2, 8, WithPatience(0))
+
+	claimParked := make(chan struct{})
+	enqParked := make(chan struct{})
+	resume := make(chan struct{})
+	var claimOnce, enqOnce sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		switch {
+		case p == yield.RGHelpClaim && caller == enq:
+			enqOnce.Do(func() {
+				close(enqParked)
+				<-resume
+			})
+		case p == yield.RGDeqClaim && caller == claimant:
+			claimOnce.Do(func() {
+				close(claimParked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	got := make(chan int64, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// Claims slot 0 (enqIdx -> 1), freezes before writing the value
+		// or publishing the ticket: the claim exists but is invisible.
+		q.Enqueue(enq, 42)
+	}()
+	<-enqParked
+	go func() {
+		defer wg.Done()
+		// Entry help finds the enqueuer's record pending but ticketless
+		// and skips it; the dequeue then claims the same slot 0 (deqIdx
+		// -> 1, legal since enqIdx is 1), sees it empty, and freezes
+		// before the burn CAS.
+		if v, ok := q.Dequeue(claimant); ok {
+			got <- v
+		}
+	}()
+	<-claimParked
+
+	close(resume) // burn CAS vs reserve CAS, live
+	wg.Wait()
+
+	// Drain whatever the claimant didn't take.
+	for {
+		v, ok := q.Dequeue(claimant)
+		if !ok {
+			break
+		}
+		got <- v
+	}
+	close(got)
+	n := 0
+	for v := range got {
+		if v != 42 {
+			t.Fatalf("delivered %d, want only 42", v)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("value delivered %d times, want exactly once", n)
+	}
+}
+
+// TestTicketPinsSegmentFromRecycling is the publish-vs-retire window: a
+// slow enqueuer freezes with a published ticket naming a slot of the
+// root segment; traffic then drives the queue past that segment so it
+// retires. Reset-and-recycle would rearm the empty state a stale
+// helper's reserve CAS must never find, so the retirer must DROP the
+// ticketed segment to the GC — and the frozen thread's value must still
+// be delivered exactly once.
+func TestTicketPinsSegmentFromRecycling(t *testing.T) {
+	const frozen, driver = 0, 1
+	q := New[int64](2, 2, WithPatience(0))
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.RGHelpTicket && caller == frozen {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(frozen, 99) // ticket names slot 0 of the root segment
+		close(done)
+	}()
+	<-parked
+
+	// The driver's first enqueue helps the frozen one (entry help), then
+	// fills the rest of the root segment and crosses the boundary.
+	for v := int64(0); v < 4; v++ {
+		q.Enqueue(driver, v)
+	}
+	// Drain the root segment (99 first — the frozen claim is slot 0) and
+	// cross the head boundary, retiring the ticketed root segment.
+	if v, ok := q.Dequeue(driver); !ok || v != 99 {
+		t.Fatalf("helped value: got (%d,%v), want (99,true)", v, ok)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Dequeue(driver); !ok {
+			t.Fatalf("drain %d came back empty", i)
+		}
+	}
+
+	st := q.Stats()
+	if st.TicketDrops == 0 {
+		t.Fatalf("ticketed segment was not dropped at retirement: %+v", st)
+	}
+	if st.Recycled != 0 {
+		t.Fatalf("a segment recycled while tickets could be live: %+v", st)
+	}
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("frozen enqueuer never completed")
+	}
+	// Exactly once across the drop: one value left (driver's 4th), then empty.
+	if _, ok := q.Dequeue(driver); !ok {
+		t.Fatal("last driver value missing")
+	}
+	if v, ok := q.Dequeue(driver); ok {
+		t.Fatalf("duplicate delivery after ticketed drop: %d", v)
+	}
+}

@@ -68,12 +68,16 @@
 // enqueue claim; an enqueue grew the segment past our empty check) or a
 // segment boundary was crossed — the lock-free guarantee of SCQ/LCRQ,
 // with every retry charged to another thread's completed linearization.
-// Unlike the linked KP core there is no helping protocol bounding an
-// individual operation's steps by O(n) against an adversarial scheduler
-// (wCQ adds one; we do not), so the backend is lock-free, not formally
-// wait-free; the chaos watchdog's measured step bound holds with a wide
-// margin because interference per operation is bounded by the
-// concurrent claim traffic. ALGORITHM.md states this honestly.
+// On top of that, helping (on by default; see WithPatience /
+// WithoutHelping) bounds the retries: an operation that fails its
+// patience-many fast attempts publishes a per-thread helping record and
+// continues through a wCQ-direction slow path in which every claimed
+// slot is announced by a public ticket BEFORE it is resolved, so any
+// other thread — including the dequeuer that would otherwise burn it —
+// can finish the operation on the owner's behalf. helping.go carries
+// the protocol and its correctness argument; ALGORITHM.md ("Wait-free
+// ring helping") states the resulting guarantee, and its honest
+// boundary, in full.
 package ring
 
 import (
@@ -101,20 +105,31 @@ const FreeListCap = 4
 const sepBytes = 128
 
 // Slot states; monotone per segment life (see the package comment).
+// With helping enabled the commit edge may pass through an intermediate
+// reserved state (empty → reserved → committed): a slow enqueuer (or a
+// helper acting on its ticket) reserves the slot, the request is
+// finalized on the owning record, and the slot is then promoted to
+// committed. Reserved is NOT terminal and never burned — a dequeuer
+// claimant that finds it resolves the owning request instead (see
+// resolveReserved in helping.go).
 const (
 	slotEmpty uint32 = iota
 	slotCommitted
 	slotConsumed
 	slotUnsafe
+	slotReserved
 )
 
-// slot is deliberately compact (state word + value), like SCQ/LCRQ
-// cells, NOT padded: neighbouring slots share a cache line by design —
-// that sharing is the sequential-access win the backend exists for, and
-// the slots an enqueuer and dequeuer touch concurrently are segSize
-// apart in the common case.
+// slot is deliberately compact, like SCQ/LCRQ cells, NOT padded:
+// neighbouring slots share a cache line by design — that sharing is the
+// sequential-access win the backend exists for, and the slots an
+// enqueuer and dequeuer touch concurrently are segSize apart in the
+// common case. resv is the helping identity word (which record/request
+// reserved this slot); it is written only on the slow path, before the
+// slot's ticket is published.
 type slot[T any] struct {
 	state atomic.Uint32
+	resv  atomic.Uint64
 	val   T
 }
 
@@ -130,6 +145,12 @@ type segment[T any] struct {
 	next   atomic.Pointer[segment[T]]
 	_      [sepBytes - 8]byte
 	slots  []slot[T]
+	// ticketed is set (under the setter's announcement of this segment)
+	// before any helping ticket naming one of its slots is published. A
+	// ticketed segment is dropped to the GC at retirement, never reset
+	// and recycled: a recycled slot's rearmed empty state is exactly
+	// what a stale helper's reserve CAS must never find (helping.go).
+	ticketed atomic.Bool
 }
 
 // reset returns a retired, exclusively owned segment to its pristine
@@ -140,11 +161,13 @@ func (s *segment[T]) reset() {
 	var zero T
 	for i := range s.slots {
 		s.slots[i].state.Store(slotEmpty)
+		s.slots[i].resv.Store(0)
 		s.slots[i].val = zero
 	}
 	s.enqIdx.Store(0)
 	s.deqIdx.Store(0)
 	s.next.Store(nil)
+	s.ticketed.Store(false)
 }
 
 // annSlot is one thread's announcement: the segment it may be about to
@@ -173,35 +196,95 @@ type Queue[T any] struct {
 
 	segSize  uint64
 	nthreads int
+	helping  bool
+	patience int
 
 	ann  []annSlot[T]
 	free []freeSlot[T]
 
+	// recs are the pre-allocated per-thread helping records; slow is
+	// the gate counter — positive while any request is pending, which
+	// is when operations pay the O(nthreads) help scan at entry.
+	recs []helpRec[T]
+	slow atomic.Int64
+	_    [sepBytes - 8]byte
+
 	// Reclamation and slow-lane statistics (see Stats). All are off the
 	// successful hot path: the segment counters move once per segSize
 	// operations, the burn/retry counters only on the slow lane.
-	segAllocs   atomic.Int64
-	segReused   atomic.Int64
-	segRecycled atomic.Int64
-	segDropped  atomic.Int64
-	deqBurns    atomic.Int64
-	enqRetries  atomic.Int64
+	segAllocs     atomic.Int64
+	segReused     atomic.Int64
+	segRecycled   atomic.Int64
+	segDropped    atomic.Int64
+	deqBurns      atomic.Int64
+	enqRetries    atomic.Int64
+	slowEnqs      atomic.Int64
+	slowDeqs      atomic.Int64
+	helpFinalizes atomic.Int64
+	ticketDrops   atomic.Int64
+}
+
+// options collects New's configuration knobs.
+type options struct {
+	helping  bool
+	patience int
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithPatience enables the wait-free helping slow path after p failed
+// fast-path attempts (burned commits or boundary overshoots). p == 0
+// sends every operation straight to the slow path — the configuration
+// adversarial tests use; p < 0 selects DefaultPatience.
+func WithPatience(p int) Option {
+	return func(o *options) {
+		if p < 0 {
+			p = DefaultPatience
+		}
+		o.helping = true
+		o.patience = p
+	}
+}
+
+// WithoutHelping disables the helping slow path entirely, restoring the
+// PR 6 lock-free behaviour (no gate check, no reserved state ever
+// reached). The chaos matrix keeps this configuration as its lock-free
+// baseline rows.
+func WithoutHelping() Option {
+	return func(o *options) {
+		o.helping = false
+	}
 }
 
 // New creates a ring-segment queue for up to nthreads concurrent
 // threads with segSize slots per segment (<= 0 selects DefaultSegSize).
-func New[T any](nthreads, segSize int) *Queue[T] {
+// Helping is enabled with DefaultPatience unless configured otherwise.
+func New[T any](nthreads, segSize int, opts ...Option) *Queue[T] {
 	if nthreads <= 0 {
 		panic("ring: nthreads must be positive")
+	}
+	if nthreads > maxThreads {
+		panic("ring: nthreads exceeds the helping identity word's capacity")
 	}
 	if segSize <= 0 {
 		segSize = DefaultSegSize
 	}
+	if segSize > maxSegSlots {
+		panic("ring: segSize exceeds the helping ticket word's capacity")
+	}
+	o := options{helping: true, patience: DefaultPatience}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	q := &Queue[T]{
 		segSize:  uint64(segSize),
 		nthreads: nthreads,
+		helping:  o.helping,
+		patience: o.patience,
 		ann:      make([]annSlot[T], nthreads),
 		free:     make([]freeSlot[T], FreeListCap),
+		recs:     make([]helpRec[T], nthreads),
 	}
 	s := q.newSegment()
 	q.head.Store(s)
@@ -214,6 +297,11 @@ func (q *Queue[T]) NumThreads() int { return q.nthreads }
 
 // SegSize reports the slots-per-segment count.
 func (q *Queue[T]) SegSize() int { return int(q.segSize) }
+
+// Helping reports whether the wait-free helping slow path is enabled;
+// Patience the fast-path attempt bound before an operation takes it.
+func (q *Queue[T]) Helping() bool { return q.helping }
+func (q *Queue[T]) Patience() int { return q.patience }
 
 // Name implements the harness's Named interface.
 func (q *Queue[T]) Name() string { return "ring" }
@@ -275,6 +363,16 @@ func (q *Queue[T]) putFree(s *segment[T]) bool {
 // necessarily still naming s (enter published it), and the retirer
 // makes no further use of s.
 func (q *Queue[T]) retire(tid int, s *segment[T]) {
+	if s.ticketed.Load() {
+		// A helping ticket named a slot of s at some point. Stale
+		// helpers may still hold that ticket, and the one CAS they can
+		// try — reserve on empty — must keep failing forever, which the
+		// terminal slot states guarantee only if s is never reset. Let
+		// the GC have it.
+		q.ticketDrops.Add(1)
+		q.segDropped.Add(1)
+		return
+	}
 	for i := range q.ann {
 		if i != tid && q.ann[i].p.Load() == s {
 			// Announced by a thread that may be about to fetch-and-add
@@ -340,15 +438,27 @@ func (q *Queue[T]) advanceHead(tid int, s *segment[T]) bool {
 
 // Enqueue inserts v on behalf of thread tid: claim a slot with one FAA,
 // write the value, publish with the commit CAS. A failed commit means a
-// dequeuer burned the claim; retry with a fresh one.
+// dequeuer burned the claim; retry with a fresh one — up to the patience
+// bound, after which the operation goes through the helpable slow path
+// (helping.go). While any slow request is pending, the operation first
+// pays its help obligation.
 func (q *Queue[T]) Enqueue(tid int, v T) {
 	q.checkTid(tid)
+	if q.helping && q.slow.Load() > 0 {
+		q.helpRecords(tid)
+	}
+	fails := 0
 	for {
+		if q.helping && fails >= q.patience {
+			q.enqueueSlow(tid, v)
+			return
+		}
 		yield.At(yield.RGRetry, tid, tid)
 		s := q.enter(tid, &q.tail)
 		t := s.enqIdx.Add(1) - 1
 		if t >= q.segSize {
 			q.advanceTail(tid, s)
+			fails++
 			continue
 		}
 		sl := &s.slots[t]
@@ -360,16 +470,28 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 		// Burned: the dequeuer that claimed t linearized an empty (or
 		// skipped) against this attempt; the value never became visible.
 		q.enqRetries.Add(1)
+		fails++
 	}
 }
 
 // Dequeue removes and returns the oldest element on behalf of thread
 // tid; ok is false when the queue was observed empty at the operation's
-// linearization point (see the package comment).
+// linearization point (see the package comment). A claimed slot found
+// reserved by a slow enqueuer is resolved — the pending enqueue is
+// finished and its value consumed — instead of burned; an operation that
+// exhausts its patience in the burn-and-retry loop continues through the
+// helpable slow path.
 func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 	q.checkTid(tid)
+	if q.helping && q.slow.Load() > 0 {
+		q.helpRecords(tid)
+	}
 	var zero T
+	fails := 0
 	for {
+		if q.helping && fails >= q.patience {
+			return q.dequeueSlow(tid)
+		}
 		yield.At(yield.RGRetry, tid, tid)
 		s := q.enter(tid, &q.head)
 		d := s.deqIdx.Load()
@@ -377,6 +499,7 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 			if !q.advanceHead(tid, s) {
 				return zero, false
 			}
+			fails++
 			continue
 		}
 		e := s.enqIdx.Load()
@@ -388,35 +511,55 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 			if s.next.Load() == nil {
 				return zero, false
 			}
+			fails++
 			continue
 		}
 		h := s.deqIdx.Add(1) - 1
 		if h >= q.segSize {
 			// Concurrent claims exhausted the segment under us; the next
 			// iteration takes the boundary path.
+			fails++
 			continue
 		}
 		sl := &s.slots[h]
 		yield.At(yield.RGDeqClaim, tid, tid)
-		// The claim h is exclusively ours, so the slot is either already
-		// committed, or empty — and if our burn CAS fails, the enqueuer
-		// committed in the window, which is just as good.
-		if sl.state.Load() == slotCommitted || !sl.state.CompareAndSwap(slotEmpty, slotUnsafe) {
-			v = sl.val
-			sl.state.Store(slotConsumed)
-			return v, true
+		// The claim h is exclusively ours: the slot is committed (take
+		// it), reserved (finish the owning slow enqueue, then take it),
+		// or empty (burn it; a commit or reserve landing in the CAS
+		// window makes the re-read take the other arm).
+	claim:
+		for {
+			switch sl.state.Load() {
+			case slotCommitted:
+				v = sl.val
+				sl.state.Store(slotConsumed)
+				return v, true
+			case slotReserved:
+				q.resolveReserved(tid, sl)
+			case slotEmpty:
+				if !sl.state.CompareAndSwap(slotEmpty, slotUnsafe) {
+					continue
+				}
+				q.deqBurns.Add(1)
+				// Burned h. If no enqueue claim exceeds h and no next
+				// segment exists, every enqueue claim in the queue is at
+				// an index some dequeuer owns — each either consumed,
+				// concurrently being consumed, or doomed by a burn — so
+				// the queue is empty. The burn MUST come before this
+				// check: once deqIdx passed h, no dequeuer would ever
+				// claim h again, and a commit landing there after an
+				// unburned empty report would be lost.
+				if s.enqIdx.Load() <= h+1 && s.next.Load() == nil {
+					return zero, false
+				}
+				break claim
+			default:
+				// unsafe: unreachable for our exclusive unburned claim;
+				// tolerate by re-claiming.
+				break claim
+			}
 		}
-		q.deqBurns.Add(1)
-		// Burned h. If no enqueue claim exceeds h and no next segment
-		// exists, every enqueue claim in the queue is at an index some
-		// dequeuer owns — each either consumed, concurrently being
-		// consumed, or doomed by a burn — so the queue is empty. The
-		// burn MUST come before this check: once deqIdx passed h, no
-		// dequeuer would ever claim h again, and a commit landing there
-		// after an unburned empty report would be lost.
-		if s.enqIdx.Load() <= h+1 && s.next.Load() == nil {
-			return zero, false
-		}
+		fails++
 	}
 }
 
@@ -429,8 +572,23 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 // linearization rule, value by value.
 func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 	q.checkTid(tid)
+	if q.helping && q.slow.Load() > 0 {
+		q.helpRecords(tid)
+	}
+	// The patience allowance budgets the boundary crossings a batch of
+	// this size legitimately needs on top of the per-op burn patience.
+	fails, patience := 0, q.patience+int(uint64(len(vs))/q.segSize)+1
 	i := 0
 	for i < len(vs) {
+		if q.helping && fails >= patience {
+			// Out of patience: the remaining values go one by one
+			// through the helpable slow path — same linearization rule,
+			// value by value.
+			for ; i < len(vs); i++ {
+				q.enqueueSlow(tid, vs[i])
+			}
+			return
+		}
 		yield.At(yield.RGRetry, tid, tid)
 		s := q.enter(tid, &q.tail)
 		want := uint64(len(vs) - i)
@@ -440,6 +598,7 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 		t := s.enqIdx.Add(want) - want
 		if t >= q.segSize {
 			q.advanceTail(tid, s)
+			fails++
 			continue
 		}
 		end := min(t+want, q.segSize)
@@ -460,6 +619,7 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 			// Burned: this claimed slot is lost, but the NEXT claimed
 			// slot can carry the same value.
 			q.enqRetries.Add(1)
+			fails++
 		}
 		if t+want > q.segSize {
 			q.advanceTail(tid, s)
@@ -474,6 +634,9 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 // owns the boundary and empty protocols).
 func (q *Queue[T]) DequeueBatch(tid int, dst []T) int {
 	q.checkTid(tid)
+	if q.helping && q.slow.Load() > 0 {
+		q.helpRecords(tid)
+	}
 	n := 0
 	for n < len(dst) {
 		yield.At(yield.RGRetry, tid, tid)
@@ -497,14 +660,31 @@ func (q *Queue[T]) DequeueBatch(tid int, dst []T) int {
 			if hooked {
 				yield.At(yield.RGDeqClaim, tid, tid)
 			}
-			if sl.state.Load() == slotCommitted || !sl.state.CompareAndSwap(slotEmpty, slotUnsafe) {
-				v := sl.val
-				sl.state.Store(slotConsumed)
-				dst[n] = v
-				n++
-				continue
+			// Same claimed-slot state machine as Dequeue: consume
+			// committed, resolve reserved (finish the slow enqueue it
+			// belongs to), burn empty.
+		claim:
+			for {
+				switch sl.state.Load() {
+				case slotCommitted:
+					v := sl.val
+					sl.state.Store(slotConsumed)
+					dst[n] = v
+					n++
+					break claim
+				case slotReserved:
+					q.resolveReserved(tid, sl)
+				case slotEmpty:
+					if sl.state.CompareAndSwap(slotEmpty, slotUnsafe) {
+						q.deqBurns.Add(1)
+						break claim
+					}
+				default:
+					// unsafe: unreachable for our exclusive unburned
+					// claim; tolerate by skipping the slot.
+					break claim
+				}
 			}
-			q.deqBurns.Add(1)
 		}
 	}
 	return n
@@ -552,6 +732,16 @@ type Stats struct {
 	// counts enqueue attempts that lost their slot to such a burn.
 	DeqBurns   int64 `json:"deq_burns"`
 	EnqRetries int64 `json:"enq_retries"`
+	// Helping/slow-path counters (zero with WithoutHelping): SlowEnqs/
+	// SlowDeqs count operations that exhausted their patience and
+	// published a helping record; HelpFinalizes counts requests whose
+	// finalizing CAS was won by a thread other than the owner;
+	// TicketDrops counts retired segments dropped to the GC because a
+	// helping ticket had named one of their slots (a subset of Dropped).
+	SlowEnqs      int64 `json:"slow_enqs"`
+	SlowDeqs      int64 `json:"slow_deqs"`
+	HelpFinalizes int64 `json:"help_finalizes"`
+	TicketDrops   int64 `json:"ticket_drops"`
 }
 
 // Stats reads the counters and walks the live chain.
@@ -564,8 +754,12 @@ func (q *Queue[T]) Stats() Stats {
 		Reused:     q.segReused.Load(),
 		Recycled:   q.segRecycled.Load(),
 		Dropped:    q.segDropped.Load(),
-		DeqBurns:   q.deqBurns.Load(),
-		EnqRetries: q.enqRetries.Load(),
+		DeqBurns:      q.deqBurns.Load(),
+		EnqRetries:    q.enqRetries.Load(),
+		SlowEnqs:      q.slowEnqs.Load(),
+		SlowDeqs:      q.slowDeqs.Load(),
+		HelpFinalizes: q.helpFinalizes.Load(),
+		TicketDrops:   q.ticketDrops.Load(),
 	}
 	for s := q.head.Load(); s != nil; s = s.next.Load() {
 		st.LiveSegments++

@@ -149,6 +149,38 @@ const (
 	// making the (burn-bounded) retries visible to the step-bound
 	// watchdog.
 	RGRetry
+	// RGHelpPublish fires in the ring backend's wait-free slow path just
+	// after an operation that exhausted its fast-path patience published
+	// its helping record (the phase-numbered request descriptor) and
+	// raised the slow gate, before it assigns itself a slot ticket — a
+	// thread frozen here leaves a pending record with no ticket, which
+	// helpers skip and nobody waits on.
+	RGHelpPublish
+	// RGHelpClaim fires between a slow-path operation's claim FAA and
+	// its ticket publish — the one unhelpable stretch of the slow path:
+	// the claim exists but is not yet public, so a thread frozen here
+	// leaves a slot peers burn past (enqueue) or skip (dequeue), never
+	// one they wait on.
+	RGHelpClaim
+	// RGHelpTicket fires between a slow-path operation's ticket publish
+	// (the versioned word naming the claimed segment and slot) and its
+	// own reserve/resolve of that slot — THE helping window: a thread
+	// frozen here has named exactly the slot its operation will use, and
+	// any helper can finish the operation from the ticket alone.
+	RGHelpTicket
+	// RGHelpScan fires once per helping-record inspection when a thread
+	// entering an operation sees the slow gate raised (caller is the
+	// helper, owner the record's thread).
+	RGHelpScan
+	// RGHelpFinalize fires immediately before the record-finalizing CAS
+	// (pending -> done) by owner or helper — between two finalize
+	// attempts the record may complete under the caller.
+	RGHelpFinalize
+	// RGHelpPromote fires between a successful finalize and the slot
+	// promotion (reserved -> committed) — a thread frozen here leaves a
+	// finalized-but-unconsumable slot that the slot's dequeuer claimant
+	// must promote itself.
+	RGHelpPromote
 	numPoints int = iota
 )
 
@@ -165,6 +197,8 @@ var pointNames = [numPoints]string{
 	"SHEnqTicket", "SHDeqTicket",
 	"WQPrepare", "WQBeforePark", "WQAfterWake", "WQNotify", "WQCloseBroadcast",
 	"RGEnqClaim", "RGDeqClaim", "RGSegAdvance", "RGRetry",
+	"RGHelpPublish", "RGHelpClaim", "RGHelpTicket", "RGHelpScan",
+	"RGHelpFinalize", "RGHelpPromote",
 }
 
 // String returns the symbolic name of the point.

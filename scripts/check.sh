@@ -25,6 +25,12 @@ go test -run='^$' -fuzz='^FuzzRing$' -fuzztime=10s ./internal/ring/
 # captured point trace).
 go test -race ./internal/chaos/
 go run -race ./cmd/wfqchaos -quick
+# Wait-free ring helping under the crash-failure adversary, focused and
+# seeded differently from the full -quick sweep above: victims freeze
+# permanently mid-help (record published, ticket public, reserve
+# pending) and the survivors' step bounds must hold while they finish
+# the victims' operations from their tickets.
+go run -race ./cmd/wfqchaos -quick -scenarios ring-wf,ring-wf-sharded -profiles permanent-kill -seed 7
 # Ring bench smoke: the ring backend's fast path must run, not just
 # pass tests — a one-point comparison against fast WF catches gross
 # perf regressions (committed numbers live in results/BENCH_ring.json).

@@ -137,12 +137,13 @@ var (
 	// segments recycle through a bounded free list — zero steady-state
 	// allocations and cache-sequential access. segSize <= 0 selects the
 	// default (1024 slots). Ordering stays a single FIFO; progress is
-	// lock-free (bounded interference per operation) rather than the
-	// linked engine's strict wait-freedom — see ALGORITHM.md,
-	// "Ring-segment storage". Composes with WithShards (ring shards
-	// behind the ticket dispatcher); the other engine options
-	// (WithVariant, WithFastPath, WithArena, ...) do not apply to the
-	// ring engine and are ignored.
+	// wait-free: after a bounded number of fast-path attempts an
+	// operation publishes a helping record and peers finish it from its
+	// ticket — see ALGORITHM.md, "Wait-free ring helping". Composes
+	// with WithShards (ring shards behind the ticket dispatcher) and
+	// with WithFastPath, whose patience bounds the ring fast path too;
+	// the remaining engine options (WithVariant, WithArena, ...) do not
+	// apply to the ring engine and are ignored.
 	WithRing = core.WithRing
 )
 
@@ -185,11 +186,18 @@ func New[T any](maxThreads int, opts ...Option) *Queue[T] {
 	all := append([]Option{WithVariant(Opt12)}, opts...)
 	q := &Queue[T]{reg: tid.NewRegistry(maxThreads)}
 	segSize, useRing := core.RingOf(all...)
+	// WithFastPath's patience carries over to the ring backend: it bounds
+	// the ring's one-FAA fast path the same way it bounds the linked
+	// engine's lock-free attempts, before the helping slow path engages.
+	var ringOpts []ring.Option
+	if p, ok := core.FastPathOf(all...); ok {
+		ringOpts = append(ringOpts, ring.WithPatience(p))
+	}
 	if n := core.ShardsOf(all...); n > 1 {
 		if useRing {
 			shards := make([]sharded.Shard[T], n)
 			for i := range shards {
-				shards[i] = ring.New[T](maxThreads, segSize)
+				shards[i] = ring.New[T](maxThreads, segSize, ringOpts...)
 			}
 			q.sh = sharded.NewOf[T](maxThreads, shards)
 		} else {
@@ -200,7 +208,7 @@ func New[T any](maxThreads int, opts ...Option) *Queue[T] {
 		q.src = q.sh
 		q.cycle = q.sh.Shards()
 	} else if useRing {
-		q.q = ring.New[T](maxThreads, segSize)
+		q.q = ring.New[T](maxThreads, segSize, ringOpts...)
 		q.g = waiter.NewGate(maxThreads)
 		q.src = singleSource[T]{q: q.q}
 		q.cycle = 1
