@@ -5,25 +5,31 @@
 //
 // Usage:
 //
-//	wfqchaos [-scenarios core-gc,core-fast,core-hp,sharded,ring,ring-wf,blocking]
+//	wfqchaos [-scenarios core-gc,core-fast,core-hp,core-tree,sharded,ring,ring-wf,ring-tree,blocking]
 //	         [-profiles single-stall,rolling-stall,permanent-kill]
 //	         [-threads N] [-ops N] [-seed S] [-deadline D]
-//	         [-quick] [-json FILE]
+//	         [-quick] [-json FILE] [-series FILE]
 //
 // Each (scenario, profile) cell runs one chaos workload: seeded victim
 // threads are frozen or delayed at adversarially chosen instrumented
 // points while the watchdog asserts that every live thread's operations
-// stay within an explicit O(n²)-shaped step budget (see
-// chaos.StepBound) and that the whole run conserves elements and keeps
-// phases inside the §3.3 wrap-safe range. Any violation is printed with
-// its captured point trace and makes the process exit nonzero — so the
-// tool doubles as a CI gate (-quick keeps that run under a few
-// seconds).
+// stay within an explicit O(log² n)-shaped step budget (the helptree
+// makes help-target selection polylogarithmic; see chaos.StepBound) and
+// that the whole run conserves elements and keeps phases inside the
+// §3.3 wrap-safe range. Any violation is printed with its captured
+// point trace and makes the process exit nonzero — so the tool doubles
+// as a CI gate (-quick keeps that run under a few seconds).
 //
 // The -json report records, per cell: the enforced bound, the worst
 // observed steps (the measured wait-freedom margin), stall counts, and
 // max / p99.99 op latency under that adversary. EXPERIMENTS.md tracks
 // the committed snapshot under results/CHAOS.json.
+//
+// -series runs the step-vs-threads series instead of the matrix: the
+// tree scenarios at n = 2..64, recording worst-case per-op steps against
+// both the polylog and legacy scan budgets. The committed snapshot is
+// results/BENCH_polylog.json; it is the evidence behind the "worst-case
+// steps stay flat as n grows" claim in EXPERIMENTS.md.
 package main
 
 import (
@@ -64,11 +70,17 @@ func main() {
 			"liveness deadline per run phase")
 		quick = flag.Bool("quick", false,
 			"small fixed workload for CI smoke (overrides -ops)")
-		jsonPath = flag.String("json", "", "write the JSON report to FILE")
+		jsonPath   = flag.String("json", "", "write the JSON report to FILE")
+		seriesPath = flag.String("series", "",
+			"run the step-vs-threads series and write it to FILE (skips the matrix)")
 	)
 	flag.Parse()
 	if *quick {
 		*ops = 300
+	}
+	if *seriesPath != "" {
+		runSeries(*seriesPath, *ops, *seed)
+		return
 	}
 
 	rep := report{
@@ -136,6 +148,60 @@ func main() {
 	}
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "wfqchaos: %d wait-freedom violation(s)\n", violations)
+		os.Exit(1)
+	}
+}
+
+// seriesReport is the -series JSON document (results/BENCH_polylog.json).
+type seriesReport struct {
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	NumCPU      int                 `json:"num_cpu"`
+	Ops         int                 `json:"ops_per_thread"`
+	Seed        uint64              `json:"seed"`
+	Points      []chaos.SeriesPoint `json:"points"`
+}
+
+// runSeries measures worst-case per-op steps for the tree scenarios at
+// growing thread counts and writes the artifact EXPERIMENTS.md cites.
+func runSeries(path string, ops int, seed uint64) {
+	rep := seriesReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Ops:         ops,
+		Seed:        seed,
+	}
+	counts := []int{2, 4, 8, 16, 32, 64}
+	violations := 0
+	fmt.Printf("%-10s %8s %8s %12s %12s\n",
+		"scenario", "threads", "worst", "polylog-bnd", "scan-bnd")
+	for _, sc := range []string{"core-tree", "ring-tree"} {
+		pts, err := chaos.StepSeries(sc, counts, ops, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfqchaos:", err)
+			os.Exit(2)
+		}
+		for _, pt := range pts {
+			fmt.Printf("%-10s %8d %8d %12d %12d\n",
+				pt.Scenario, pt.Threads, pt.WorstSteps, pt.StepBound, pt.ScanBound)
+			violations += pt.Violations
+		}
+		rep.Points = append(rep.Points, pts...)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(buf, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfqchaos:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("series written to %s\n", path)
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "wfqchaos: %d wait-freedom violation(s) in series\n", violations)
 		os.Exit(1)
 	}
 }

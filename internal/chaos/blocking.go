@@ -57,7 +57,7 @@ func runBlocking(cfg Config) (Result, error) {
 	})
 	defer yield.Set(prev)
 
-	bound := StepBound(cfg.Threads, core.DefaultPatience, 1)
+	bound := StepBound(BoundPolylog, cfg.Threads, core.DefaultPatience, 1)
 	var prodWG, liveConsWG, allWG sync.WaitGroup
 	finished := make([]atomic.Bool, cfg.Threads)
 	stats := make([]workerStats, cfg.Threads)

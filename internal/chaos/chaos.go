@@ -80,11 +80,18 @@ const (
 	// finish; the watchdog bound must survive victims parked at every
 	// one of these windows.
 	ClassHelp
+	// ClassTree: the helptree announcement structure's windows —
+	// leaf-to-root propagation, aggregate-refresh CAS, root-to-leaf
+	// descent (internal/helptree). A thread frozen mid-propagation
+	// leaves stale aggregates that helpers must repair rather than
+	// trust; the polylog step bound must survive victims parked at
+	// every tree level.
+	ClassTree
 	numClasses
 )
 
 var classNames = [numClasses]string{
-	"enq-cas", "deq-cas", "chain", "ticket", "park", "retry", "help",
+	"enq-cas", "deq-cas", "chain", "ticket", "park", "retry", "help", "tree",
 }
 
 // String returns the class's symbolic name.
@@ -117,6 +124,8 @@ func Classify(p yield.Point) Class {
 	case yield.RGHelpPublish, yield.RGHelpClaim, yield.RGHelpTicket,
 		yield.RGHelpScan, yield.RGHelpFinalize, yield.RGHelpPromote:
 		return ClassHelp
+	case yield.HTPropagate, yield.HTRefresh, yield.HTDescend:
+		return ClassTree
 	default:
 		// KPHelpScan, KPEnqRetry, KPDeqRetry, KPFastEnqAttempt,
 		// KPFastDeqAttempt, RGRetry.
@@ -158,8 +167,10 @@ func (s ClassSet) String() string {
 
 // AllClasses targets every point class except parking (parking is
 // excluded by default because freezing a thread that is already parked
-// proves nothing — it is indistinguishable from a slow wake).
-var AllClasses = Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry)
+// proves nothing — it is indistinguishable from a slow wake) and the
+// ring's ClassHelp (which only fires in ring scenarios, whose class
+// sets add it explicitly).
+var AllClasses = Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry, ClassTree)
 
 // Profile names an adversary strategy.
 type Profile int

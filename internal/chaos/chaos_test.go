@@ -27,6 +27,9 @@ func TestClassify(t *testing.T) {
 		yield.KPHelpScan:           ClassRetry,
 		yield.KPEnqRetry:           ClassRetry,
 		yield.KPFastDeqAttempt:     ClassRetry,
+		yield.HTPropagate:          ClassTree,
+		yield.HTRefresh:            ClassTree,
+		yield.HTDescend:            ClassTree,
 	}
 	for p, want := range cases {
 		if got := Classify(p); got != want {
@@ -45,6 +48,9 @@ func TestClassSet(t *testing.T) {
 	}
 	if AllClasses.Has(ClassPark) {
 		t.Fatal("AllClasses must exclude parking")
+	}
+	if !AllClasses.Has(ClassTree) {
+		t.Fatal("AllClasses must include the helptree class")
 	}
 	if got := Classes(ClassDeqCAS).String(); got != "deq-cas" {
 		t.Fatalf("String() = %q", got)
@@ -176,14 +182,54 @@ func TestWatchdogChecks(t *testing.T) {
 }
 
 func TestStepBoundShape(t *testing.T) {
-	if StepBound(8, 0, 1) >= StepBound(8, 8, 1) {
-		t.Fatal("bound must grow with patience")
+	for _, kind := range []BoundKind{BoundPolylog, BoundScan} {
+		if StepBound(kind, 8, 0, 1) >= StepBound(kind, 8, 8, 1) {
+			t.Fatal("bound must grow with patience")
+		}
+		if StepBound(kind, 4, 8, 1) >= StepBound(kind, 16, 8, 1) {
+			t.Fatal("bound must grow with thread count")
+		}
+		if 4*StepBound(kind, 8, 8, 1) != StepBound(kind, 8, 8, 4) {
+			t.Fatal("batch of k budgets k single ops")
+		}
 	}
-	if StepBound(4, 8, 1) >= StepBound(16, 8, 1) {
-		t.Fatal("bound must grow with thread count")
+	// The point of the polylog bound: it must grow sub-linearly while
+	// the scan bound grows quadratically. 2 -> 64 threads is 32x; the
+	// polylog budget may grow at most ~6x (L² goes 4 -> 49).
+	lo := StepBound(BoundPolylog, 2, 0, 1)
+	hi := StepBound(BoundPolylog, 64, 0, 1)
+	if hi >= 32*lo {
+		t.Fatalf("polylog bound not sub-linear: n=2 -> %d, n=64 -> %d", lo, hi)
 	}
-	if 4*StepBound(8, 8, 1) != StepBound(8, 8, 4) {
-		t.Fatal("batch of k budgets k single ops")
+	if StepBound(BoundScan, 64, 0, 1) <= 4*hi {
+		t.Fatalf("scan bound should dwarf polylog at n=64")
+	}
+}
+
+// TestStepBoundPinned is the regression pin ISSUE.md asks for: the exact
+// budgets at n ∈ {2, 8, 64}. Changing the formula is allowed, but it
+// must be a deliberate act that updates these numbers (and re-runs the
+// full matrix plus cmd/wfqchaos -series to re-validate headroom).
+func TestStepBoundPinned(t *testing.T) {
+	cases := []struct {
+		kind               BoundKind
+		n, patience, batch int
+		want               int64
+	}{
+		{BoundPolylog, 2, 0, 1, 512 + 16 + 96*2*2},   // 912
+		{BoundPolylog, 8, 0, 1, 512 + 16 + 96*4*4},   // 2064
+		{BoundPolylog, 64, 0, 1, 512 + 16 + 96*7*7},  // 5232
+		{BoundPolylog, 8, 8, 1, 512 + 16*9 + 96*4*4}, // 2192
+		{BoundPolylog, 8, 0, 4, (512 + 16 + 1536) * 4},
+		{BoundScan, 2, 0, 1, 512 + 16 + 64*2*2},
+		{BoundScan, 8, 0, 1, 512 + 16 + 64*8*8},
+		{BoundScan, 64, 0, 1, 512 + 16 + 64*64*64},
+	}
+	for _, tc := range cases {
+		if got := StepBound(tc.kind, tc.n, tc.patience, tc.batch); got != tc.want {
+			t.Errorf("StepBound(%v, n=%d, p=%d, b=%d) = %d, want %d",
+				tc.kind, tc.n, tc.patience, tc.batch, got, tc.want)
+		}
 	}
 }
 

@@ -61,13 +61,16 @@ func (c *Config) fill() {
 
 // AllScenarios lists the frontends a chaos run can target: the core
 // wait-free queue (GC reclamation), the fast-path/slow-path engine, the
-// hazard-pointer variant, the sharded ticket-dispatch frontend, the
-// ring-segment storage backend (the lock-free baseline without helping,
-// and the wait-free helping configuration, each alone and behind the
-// dispatcher), and the blocking/Close lifecycle frontend.
+// hazard-pointer variant, the core queue with helptree target selection,
+// the sharded ticket-dispatch frontend, the ring-segment storage backend
+// (the lock-free baseline without helping, and the wait-free helping
+// configuration — tree-guided since PR 8 — each alone and behind the
+// dispatcher, plus a small-segment tree-focused row), and the
+// blocking/Close lifecycle frontend.
 var AllScenarios = []string{
-	"core-gc", "core-fast", "core-hp", "sharded",
-	"ring", "ring-sharded", "ring-wf", "ring-wf-sharded", "blocking",
+	"core-gc", "core-fast", "core-hp", "core-tree", "sharded",
+	"ring", "ring-sharded", "ring-wf", "ring-wf-sharded", "ring-tree",
+	"blocking",
 }
 
 // Result is one run's report, JSON-ready for cmd/wfqchaos.
@@ -127,6 +130,24 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 		return &frontend{
 			name: name, patience: 0, emptyRuns: 1,
 			classes:  Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassRetry),
+			enq:      q.Enqueue,
+			deq:      q.Dequeue,
+			enqBatch: q.EnqueueBatch,
+			deqBatch: q.DequeueBatch,
+			maxPhase: q.MaxObservedPhase,
+		}, nil
+	case "core-tree":
+		// Every operation takes the KP slow path (no fast path), with the
+		// helptree choosing help targets. ClassTree puts the propagate,
+		// refresh, and descend windows in the antagonist's reach: victims
+		// freeze mid-propagation holding a stale aggregate and survivors
+		// must stay inside the polylog budget while repairing around it.
+		q := core.New[int64](nthreads,
+			core.WithVariant(core.VariantOpt12), core.WithDescriptorCache(),
+			core.WithHelpTree())
+		return &frontend{
+			name: name, patience: 0, emptyRuns: 1,
+			classes:  Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassRetry, ClassTree),
 			enq:      q.Enqueue,
 			deq:      q.Dequeue,
 			enqBatch: q.EnqueueBatch,
@@ -216,7 +237,7 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 		q := ring.New[int64](nthreads, 0, ring.WithPatience(0))
 		return &frontend{
 			name: name, patience: 0, emptyRuns: 1,
-			classes:  Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassRetry, ClassHelp),
+			classes:  Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassRetry, ClassHelp, ClassTree),
 			enq:      q.Enqueue,
 			deq:      q.Dequeue,
 			enqBatch: q.EnqueueBatch,
@@ -235,7 +256,7 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 		q := sharded.NewOf[int64](nthreads, shards)
 		return &frontend{
 			name: name, patience: 0, emptyRuns: 2 * nshards,
-			classes: Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry, ClassHelp),
+			classes: Classes(ClassEnqCAS, ClassDeqCAS, ClassChain, ClassTicket, ClassRetry, ClassHelp, ClassTree),
 			enq:     func(tid int, v int64) { q.EnqueueTicket(tid, v) },
 			deq:     q.Dequeue,
 			enqBatch: func(tid int, vs []int64) {
@@ -243,6 +264,23 @@ func buildFrontend(name string, nthreads int) (*frontend, error) {
 			},
 			deqBatch: q.DequeueBatch,
 			maxPhase: q.MaxObservedPhase,
+		}, nil
+	case "ring-tree":
+		// Tree-focused ring row: small segments force frequent boundary
+		// crossings and ticketed drops while every op goes slow, and the
+		// adversary targets ONLY the helptree windows — freezing victims
+		// mid-propagate/descend is its whole strategy. Exercises the
+		// stale-aggregate repair path harder than ring-wf (where tree
+		// points are a minority of the target set).
+		q := ring.New[int64](nthreads, 64, ring.WithPatience(0))
+		return &frontend{
+			name: name, patience: 0, emptyRuns: 1,
+			classes:  Classes(ClassTree, ClassRetry),
+			enq:      q.Enqueue,
+			deq:      q.Dequeue,
+			enqBatch: q.EnqueueBatch,
+			deqBatch: q.DequeueBatch,
+			maxPhase: func() int64 { return 0 },
 		}, nil
 	default:
 		return nil, fmt.Errorf("unknown scenario %q (want one of %v)", name, AllScenarios)
@@ -280,8 +318,8 @@ func Run(cfg Config) (Result, error) {
 	})
 	defer yield.Set(prev)
 
-	boundOne := StepBound(cfg.Threads, fe.patience, 1)
-	boundBatch := StepBound(cfg.Threads, fe.patience, cfg.BatchWidth)
+	boundOne := StepBound(BoundPolylog, cfg.Threads, fe.patience, 1)
+	boundBatch := StepBound(BoundPolylog, cfg.Threads, fe.patience, cfg.BatchWidth)
 
 	var liveWG, allWG sync.WaitGroup
 	finished := make([]atomic.Bool, cfg.Threads)

@@ -1,0 +1,50 @@
+package chaos
+
+import "fmt"
+
+// SeriesPoint is one (scenario, thread count) cell of the step-vs-threads
+// series: the polylog budget enforced at that n and the worst per-op
+// step count any thread actually reached across the adversary profiles.
+type SeriesPoint struct {
+	Scenario   string `json:"scenario"`
+	Threads    int    `json:"threads"`
+	StepBound  int64  `json:"step_bound"`
+	WorstSteps int64  `json:"worst_steps"`
+	// ScanBound is the legacy O(n²) budget at the same n — committed so
+	// the before/after table in EXPERIMENTS.md regenerates from the
+	// artifact alone.
+	ScanBound  int64 `json:"scan_bound"`
+	Violations int   `json:"violations"`
+}
+
+// StepSeries measures worst-case per-operation steps for a scenario
+// across thread counts — the evidence that tree-guided helping keeps the
+// worst case flat (sub-linear) while n grows 32×. Each point runs every
+// adversary profile at that thread count and keeps the maximum observed
+// step count; ops is the per-thread quota per run.
+func StepSeries(scenario string, threadCounts []int, ops int, seed uint64) ([]SeriesPoint, error) {
+	pts := make([]SeriesPoint, 0, len(threadCounts))
+	for _, n := range threadCounts {
+		pt := SeriesPoint{
+			Scenario:  scenario,
+			Threads:   n,
+			StepBound: StepBound(BoundPolylog, n, 0, 1),
+			ScanBound: StepBound(BoundScan, n, 0, 1),
+		}
+		for _, profile := range AllProfiles {
+			res, err := Run(Config{
+				Scenario: scenario, Profile: profile,
+				Threads: n, Ops: ops, Seed: seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("series %s n=%d %s: %w", scenario, n, profile, err)
+			}
+			if res.WorstSteps > pt.WorstSteps {
+				pt.WorstSteps = res.WorstSteps
+			}
+			pt.Violations += len(res.Violations)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

@@ -1,0 +1,51 @@
+package chaos
+
+import "testing"
+
+// TestStepSeriesFlat is the in-tree (small) version of the acceptance
+// series: worst-case steps must stay sub-linear as threads grow. The
+// committed full series (n up to 64, bigger quotas) is produced by
+// cmd/wfqchaos -series; this keeps the property under test at CI scale.
+func TestStepSeriesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("series runs the full profile set per point")
+	}
+	for _, scenario := range []string{"core-tree", "ring-tree"} {
+		pts, err := StepSeries(scenario, []int{2, 8, 16}, 200, 0x5eed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range pts {
+			if pt.Violations != 0 {
+				t.Errorf("%s n=%d: %d violations", scenario, pt.Threads, pt.Violations)
+			}
+			if pt.WorstSteps == 0 {
+				t.Errorf("%s n=%d: no steps observed — wiring broken", scenario, pt.Threads)
+			}
+		}
+		// 2 -> 16 threads is 8×; tree-guided worst steps must grow by
+		// strictly less (the linear-scan baseline grows ~8× or worse).
+		lo, hi := pts[0].WorstSteps, pts[len(pts)-1].WorstSteps
+		if hi >= 8*lo {
+			t.Errorf("%s worst steps not sub-linear: n=2 -> %d, n=16 -> %d", scenario, lo, hi)
+		}
+	}
+}
+
+// BenchmarkStepSeries is the CI smoke hook (`-benchtime=1x` in
+// scripts/check.sh): one tiny series point per tree scenario, asserting
+// the watchdog budget held. Real measurements come from cmd/wfqchaos.
+func BenchmarkStepSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scenario := range []string{"core-tree", "ring-tree"} {
+			pts, err := StepSeries(scenario, []int{8}, 100, 0x5eed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pts[0].Violations != 0 {
+				b.Fatalf("%s: %d violations", scenario, pts[0].Violations)
+			}
+			b.ReportMetric(float64(pts[0].WorstSteps), scenario+"-worst-steps")
+		}
+	}
+}

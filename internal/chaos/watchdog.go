@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -9,32 +10,70 @@ import (
 	"wfq/internal/yield"
 )
 
+// BoundKind selects the step-budget formula StepBound applies — which
+// helping structure's worst case the budget has to cover.
+type BoundKind int
+
+const (
+	// BoundPolylog is the budget for tree-assisted helping
+	// (internal/helptree): helpers pick whom to help by an O(log n)
+	// root-to-leaf descent instead of scanning all n records, so the
+	// quadratic term collapses to O(log² n). Every matrix scenario
+	// runs under this bound now — PR 8 wired the tree behind both slow
+	// paths.
+	BoundPolylog BoundKind = iota
+	// BoundScan is the legacy budget for linear-scan helping (the
+	// pre-tree `state` array and `helpRecords` scans): O(n²), because
+	// an op could help up to n pending operations, each retried O(n)
+	// times. Kept for the before/after comparison in EXPERIMENTS.md
+	// and for configurations that opt out of the tree.
+	BoundScan
+)
+
 // StepBound is the per-operation step budget the watchdog enforces: the
 // maximum number of instrumented points one thread may pass through
 // while executing one of its own operations (a batch of k counts as one
-// operation with a k-scaled budget).
+// operation with a k-scaled budget). It is the single source of the
+// formula — the runner, cmd/wfqchaos, and the tests all call it here.
 //
-// Shape: the helping argument of §3.2/§3.3 bounds an operation by
-// O(fixed) + O(patience) fast-path attempts + O(n²) helping steps — an
-// op may help up to n pending operations, and each help can be forced
-// to retry O(n) times by concurrent linearizations (every failed append
-// or claim CAS means some other thread's operation linearized, and at
-// most n operations are in flight). The constants convert "algorithm
-// steps" into "instrumented points" (an algorithm step fires a handful
-// of points — retry tops, scan marks, pre/post-CAS windows) and are
-// deliberately generous: cmd/wfqchaos measures worst cases of 3–44
-// points per op at n=8 against a budget of ~4.6k (results/CHAOS.json),
-// about two orders of magnitude of headroom. That asymmetry is the
-// design: the budget must never flake on a correct queue under any
-// scheduler, while an actually-unbounded retry loop (the class of bug
-// the slowPending fast-path gate fixed) is not 100× the healthy cost
-// but millions of times it — it blows through any O(n²)-shaped budget
+// Shape, BoundPolylog: a gated operation pays O(fixed) structural
+// steps + O(patience) fast-path attempts + helping. With the helptree
+// choosing help targets, helping costs O(log n) per announce/descent
+// and a bounded number of descents per operation (each non-productive
+// descent either repairs a stale aggregate — at most one per level per
+// completed request — or observes a linearization), giving an
+// O(log² n) envelope; L = ⌈log₂ n⌉ + 1 below.
+//
+// Shape, BoundScan: the pre-tree helping argument of §3.2/§3.3 — an op
+// may help up to n pending operations, and each help can be forced to
+// retry O(n) times by concurrent linearizations, so O(n²).
+//
+// In both kinds the constants convert "algorithm steps" into
+// "instrumented points" (an algorithm step fires a handful of points —
+// retry tops, scan marks, pre/post-CAS windows, tree levels) and are
+// deliberately generous: cmd/wfqchaos measures worst cases well under
+// a tenth of the polylog budget at every n in the committed series
+// (results/BENCH_polylog.json). That asymmetry is the design: the
+// budget must never flake on a correct queue under any scheduler,
+// while an actually-unbounded retry loop (the class of bug the
+// slowPending fast-path gate fixed) is not 10× the healthy cost but
+// millions of times it — it blows through any polylog-shaped budget
 // within one adversary round.
-func StepBound(nthreads, patience, batch int) int64 {
+func StepBound(kind BoundKind, nthreads, patience, batch int) int64 {
 	if batch < 1 {
 		batch = 1
 	}
-	perOp := 512 + 16*int64(patience+1) + 64*int64(nthreads)*int64(nthreads)
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	var perOp int64
+	switch kind {
+	case BoundScan:
+		perOp = 512 + 16*int64(patience+1) + 64*int64(nthreads)*int64(nthreads)
+	default:
+		l := int64(bits.Len(uint(nthreads-1))) + 1 // ⌈log₂ n⌉ + 1
+		perOp = 512 + 16*int64(patience+1) + 96*l*l
+	}
 	return perOp * int64(batch)
 }
 

@@ -159,7 +159,7 @@ func TestFastStreamDefersToParkedSlowEnqueuer(t *testing.T) {
 // warm HP fast-path queue (pool-recycled nodes, no descriptors on the
 // fast path) must complete an enqueue/dequeue pair with zero heap
 // allocations when no yield hook is installed. This is the ops-level
-// companion to the yield package's own zero-overhead test: the 29
+// companion to the yield package's own zero-overhead test: the 42
 // instrumented points and the slowPending gate check together must cost
 // the production configuration nothing but a few atomic loads.
 func TestFastPathNoHookNoAllocs(t *testing.T) {

@@ -1,6 +1,9 @@
 package core
 
-import "wfq/internal/yield"
+import (
+	"wfq/internal/helptree"
+	"wfq/internal/yield"
+)
 
 // Enqueue inserts v at the tail on behalf of thread tid — the paper's
 // enq(), Lines 61–66, preceded by the bounded lock-free fast path when
@@ -31,8 +34,16 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 	}
 	ph := q.nextPhase()                                                                // Line 62
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: true, node: n}) // Line 63
-	q.help(tid, ph, true)                                                              // Line 64
-	q.helpFinishEnq(tid)                                                               // Line 65
+	if q.tree != nil {
+		// The descriptor is published; announce (phase, tid) so helpers
+		// can find this op by descent instead of scanning.
+		q.tree.Announce(tid, uint64(ph))
+	}
+	q.help(tid, ph, true) // Line 64
+	q.helpFinishEnq(tid)  // Line 65
+	if q.tree != nil {
+		q.tree.Clear(tid)
+	}
 	if q.patience > 0 {
 		q.slowPending.Add(-1)
 	}
@@ -60,8 +71,14 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 	}
 	ph := q.nextPhase()                                                        // Line 99
 	q.state[tid].p.Store(&opDesc[T]{phase: ph, pending: true, enqueue: false}) // Line 100
-	q.help(tid, ph, false)                                                     // Line 101
-	q.helpFinishDeq(tid)                                                       // Line 102
+	if q.tree != nil {
+		q.tree.Announce(tid, uint64(ph))
+	}
+	q.help(tid, ph, false) // Line 101
+	q.helpFinishDeq(tid)   // Line 102
+	if q.tree != nil {
+		q.tree.Clear(tid)
+	}
 	if q.patience > 0 {
 		q.slowPending.Add(-1)
 	}
@@ -171,7 +188,10 @@ func (q *Queue[T]) clearDesc(tid int, ph int64, enqueue bool) {
 // entry with a pending operation at phase ≤ ph is helped, which includes
 // the caller's own entry. VariantOpt1/Opt12 instead help at most
 // helpChunk other entries, advancing a per-thread cyclic cursor (§3.3),
-// and then drive the caller's own operation directly.
+// and then drive the caller's own operation directly. With the helptree
+// attached, the cursor probe is followed by an O(log n) descent to the
+// oldest announced operation, so helpers converge on the op that has
+// waited longest instead of whatever the cursor happens to pass.
 func (q *Queue[T]) help(caller int, ph int64, enqueue bool) {
 	switch q.variant {
 	case VariantBase, VariantOpt2:
@@ -220,12 +240,55 @@ func (q *Queue[T]) help(caller int, ph int64, enqueue bool) {
 				}
 			}
 		}
+		if q.tree != nil {
+			q.helpOldest(caller, ph)
+		}
 		// Complete the caller's own operation.
 		if enqueue {
 			q.helpEnq(caller, caller, ph)
 		} else {
 			q.helpDeq(caller, caller, ph)
 		}
+	}
+}
+
+// helpOldest descends the helptree to the oldest announced slow-path
+// operation and helps it. Everything the descent returns is a hint that
+// gets re-validated against the live descriptor: a target that already
+// finished (or whose owner has moved on to a newer phase) has a stale
+// leaf, which the helper retires with an exact-word CAS — that repair
+// is what keeps a crashed owner's dead announcement from shadowing the
+// live ones forever. At most two descents run per call, so the step
+// cost is O(log n), not a loop.
+func (q *Queue[T]) helpOldest(caller int, ph int64) {
+	for r := 0; r < 2; r++ {
+		tid, w, ok := q.tree.Oldest(caller)
+		if !ok {
+			continue // stale aggregate repaired inside Oldest; retry once
+		}
+		if tid == caller {
+			return // own op is driven by help()'s caller
+		}
+		desc := q.state[tid].p.Load()
+		if stillPending(desc, ph) {
+			q.met.incHelp(caller)
+			if desc.enqueue {
+				q.helpEnq(caller, tid, ph)
+			} else {
+				q.helpDeq(caller, tid, ph)
+			}
+			return
+		}
+		// Not helpable by us. The announcement is stale if the op it
+		// named is gone: the descriptor is non-pending, or the owner is
+		// already pending at a newer phase than the leaf advertises.
+		if !desc.pending || uint64(desc.phase) > helptree.Prio(w) {
+			q.tree.ClearStale(caller, tid, w)
+			continue
+		}
+		// Genuinely pending but younger than us (possible only under
+		// priority saturation): leave it to its own helpers.
+		return
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"wfq/internal/helptree"
 	"wfq/internal/phase"
 	"wfq/internal/pool"
 	"wfq/internal/xrand"
@@ -68,6 +69,8 @@ type config struct {
 	ringSeg     int
 	ring        bool
 	arena       bool
+	helpTree    bool
+	helpTreeSet bool
 	randomHelp  bool
 	clearOnExit bool
 	descCache   bool
@@ -164,6 +167,33 @@ func FastPathOf(opts ...Option) (patience int, ok bool) {
 // VariantOpt12 operation examines for helping (§3.3 allows any 1 ≤ k < n;
 // the paper's evaluation uses k = 1, the default).
 func WithHelpChunk(k int) Option { return func(c *config) { c.helpChunk = k } }
+
+// WithHelpTree attaches the tournament-tree announcement structure
+// (internal/helptree) to the helping slow path: a slow-path operation
+// announces its (phase, tid) in a per-thread leaf and propagates the
+// minimum toward the root; helpers find the oldest pending operation by
+// an O(log n) root-to-leaf descent instead of relying solely on the
+// cyclic cursor probe. The cursor probe is kept as a deterministic
+// backstop (every record is still visited within n gated entries), so
+// the Opt1 helping guarantee is preserved while helpers converge on the
+// oldest phase — the polylog-helping direction of Naderibeni & Ruppert.
+//
+// The tree is a hint: linearizability never depends on it (help targets
+// re-validate against the real descriptor), it only changes whom a
+// helper assists first. Applies to VariantOpt1/Opt12/Fast; the
+// help-everyone variants (Base, Opt2) ignore it — they are the paper's
+// reference algorithms and keep the verbatim scan. Default: on for
+// VariantFast, off otherwise.
+func WithHelpTree() Option {
+	return func(c *config) { c.helpTree, c.helpTreeSet = true, true }
+}
+
+// WithoutHelpTree disables the helptree even for VariantFast, restoring
+// the pure cursor-probe helping (the pre-tree behaviour, useful for
+// before/after measurement).
+func WithoutHelpTree() Option {
+	return func(c *config) { c.helpTree, c.helpTreeSet = false, true }
+}
 
 // WithRandomHelping makes VariantOpt1/VariantOpt12 pick helping
 // candidates at random instead of cyclically — the §3.3 alternative:
@@ -292,6 +322,9 @@ type Queue[T any] struct {
 	// arena is non-nil when WithArena is set; nodes then come from
 	// per-thread bump-allocated blocks instead of individual allocations.
 	arena *pool.Arena[node[T]]
+	// tree is non-nil when the helptree announcement structure is
+	// attached (WithHelpTree; default for VariantFast) — see help().
+	tree *helptree.Tree
 }
 
 // New creates a queue for up to nthreads concurrent threads (the paper's
@@ -348,6 +381,12 @@ func New[T any](nthreads int, opts ...Option) *Queue[T] {
 		if q.phases == nil {
 			q.phases = phase.NewCAS()
 		}
+	}
+	if !cfg.helpTreeSet {
+		cfg.helpTree = cfg.variant == VariantFast
+	}
+	if cfg.helpTree && cfg.variant != VariantBase && cfg.variant != VariantOpt2 {
+		q.tree = helptree.New(nthreads)
 	}
 	// Constructor, Lines 27–35: one sentinel node; every state entry
 	// starts with a non-pending descriptor at phase -1.

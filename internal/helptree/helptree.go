@@ -1,0 +1,291 @@
+// Package helptree implements the aggregated-announcement tournament
+// tree that gives the slow paths polylogarithmic-step helping, in the
+// direction of "A Wait-free Queue with Polylogarithmic Step Complexity"
+// (Naderibeni & Ruppert, PODC 2023).
+//
+// The problem it solves: both wait-free slow paths in this repo — the
+// Kogan–Petrank `state` array scan in internal/core and the
+// `helpRecords` scan in internal/ring — pick whom to help by reading
+// all n per-thread records, so every gated operation pays O(n) steps
+// and the chaos watchdog bound carries an O(n²) term. The tree replaces
+// the *choice* of whom to help (not the helping itself): each thread
+// owns one leaf; announcing a pending request stores a packed
+// (priority, tid) key in the leaf and propagates the minimum toward the
+// root through a fixed-fanout hierarchy of aggregate nodes; a helper
+// finds the oldest pending request by walking root-to-leaf, reading
+// Fanout children per level — O(log n) steps per announce and per
+// lookup.
+//
+// # Words
+//
+// Every node holds one uint64:
+//
+//	ver(16) | prio+1(32) | tid(16)
+//
+// The low 48 bits are the key; key 0 means "nothing pending below".
+// Priorities are phase numbers, so smaller key = older phase (ties
+// broken by smaller tid). Storing prio+1 keeps a pending announcement
+// with phase 0 distinct from empty. Priorities above MaxPrio saturate:
+// past 2^32-2 operations, saturated keys tie and "oldest" degrades to
+// "lowest tid among saturated" — helping stays live, only the age
+// ordering coarsens (documented in ALGORITHM.md; 2^32 slow-path
+// operations per queue is past any test horizon). The 16-bit version in
+// the top bits makes aggregate-refresh CASes ABA-resistant: every
+// successful refresh bumps ver, so node values never repeat within a
+// 2^16 window and the double-refresh argument below holds.
+//
+// Leaves carry ver 0 always: a leaf is ground truth, written by its
+// owner (Announce/Clear stores) and cleared by helpers only via an
+// exact-value CAS (ClearStale) after validating against the owner's
+// record that the announced request is no longer pending. Phase
+// numbers are strictly increasing per thread, so a leaf word never
+// recurs and the helper CAS can never clear a *newer* announcement.
+//
+// # Why stale aggregates are safe
+//
+// Internal nodes are hints. Linearizability never depends on them:
+// whoever the descent returns is validated against the real per-thread
+// record (core: the descriptor's pending bit; ring: the seq-tagged
+// ctl word), and every helping CAS is guarded by that record's own
+// protocol. A stale aggregate can only send a helper to a finished
+// request (bounded no-op, then ClearStale repairs the leaf) or hide a
+// just-announced one for the duration of its announcer's own
+// propagation (the announcer double-refreshes every node on its
+// leaf-root path, so after Announce returns, each node on the path
+// reflects that announcement or something newer — see refresh).
+//
+// All storage is preallocated at New: no method allocates, so the tree
+// adds zero allocs/op to the fast path and the slow path alike.
+package helptree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wfq/internal/yield"
+)
+
+const (
+	// Fanout is the tree arity. 4 keeps the tree shallow (depth
+	// log₄ n ≤ 8 at the 2^16 thread cap) while each refresh still reads
+	// only a handful of children.
+	Fanout = 4
+
+	tidBits  = 16
+	prioBits = 32
+	keyBits  = tidBits + prioBits
+
+	tidMask = 1<<tidBits - 1
+	keyMask = 1<<keyBits - 1
+
+	// MaxThreads is the largest leaf count a tree supports (the tid
+	// field width). Matches internal/ring's maxThreads.
+	MaxThreads = 1 << tidBits
+
+	// MaxPrio is the largest distinct priority; larger values saturate
+	// to it (see the package comment on the saturation consequence).
+	MaxPrio = 1<<prioBits - 2
+)
+
+// packKey builds the 48-bit (prio+1, tid) key. Key ordering is age
+// ordering: smaller phase first, tid as tiebreak.
+func packKey(prio uint64, tid int) uint64 {
+	if prio > MaxPrio {
+		prio = MaxPrio
+	}
+	return (prio+1)<<tidBits | uint64(tid)
+}
+
+// Tid extracts the thread id from a nonzero leaf word or key.
+func Tid(w uint64) int { return int(w & tidMask) }
+
+// Prio extracts the priority (phase number, saturated) from a nonzero
+// leaf word or key.
+func Prio(w uint64) uint64 { return (w&keyMask)>>tidBits - 1 }
+
+// padWord is one node, padded to its own false-sharing unit (two cache
+// lines, matching the sepBytes convention in internal/core and
+// internal/ring).
+type padWord struct {
+	w atomic.Uint64
+	_ [120]byte
+}
+
+// Tree is the announcement structure for n threads. All methods are
+// safe for concurrent use; Announce and Clear additionally require that
+// only leaf tid's owner calls them for that tid.
+type Tree struct {
+	n      int
+	leaves []padWord
+	// levels[0] aggregates runs of Fanout leaves; each higher level
+	// aggregates runs of Fanout nodes below it; the last level is the
+	// root (width 1).
+	levels [][]padWord
+}
+
+// New builds a tree over n per-thread leaves. Everything is allocated
+// here; no method allocates afterwards.
+func New(n int) *Tree {
+	if n < 1 || n > MaxThreads {
+		panic(fmt.Sprintf("helptree: thread count %d out of range [1,%d]", n, MaxThreads))
+	}
+	t := &Tree{n: n, leaves: make([]padWord, n)}
+	w := n
+	for {
+		w = (w + Fanout - 1) / Fanout
+		t.levels = append(t.levels, make([]padWord, w))
+		if w == 1 {
+			return t
+		}
+	}
+}
+
+// Threads returns the leaf count the tree was built for.
+func (t *Tree) Threads() int { return t.n }
+
+// Depth returns the number of aggregate levels above the leaves
+// (⌈log₄ n⌉, min 1). The step cost of Announce, Clear, Repair, and a
+// full Oldest descent is linear in this.
+func (t *Tree) Depth() int { return len(t.levels) }
+
+// childCount returns how many children the nodes of the given level
+// aggregate over in total.
+func (t *Tree) childCount(level int) int {
+	if level == 0 {
+		return t.n
+	}
+	return len(t.levels[level-1])
+}
+
+// childKey reads child j of the given level: a leaf word for level 0,
+// otherwise the key bits of the aggregate one level down.
+func (t *Tree) childKey(level, j int) uint64 {
+	if level == 0 {
+		return t.leaves[j].w.Load() & keyMask
+	}
+	return t.levels[level-1][j].w.Load() & keyMask
+}
+
+// minChild scans node (level, idx)'s children and returns the minimum
+// nonzero key and its child index (-1 if all children are empty).
+func (t *Tree) minChild(level, idx int) (uint64, int) {
+	lo := idx * Fanout
+	hi := lo + Fanout
+	if c := t.childCount(level); hi > c {
+		hi = c
+	}
+	min, minJ := uint64(0), -1
+	for j := lo; j < hi; j++ {
+		if k := t.childKey(level, j); k != 0 && (min == 0 || k < min) {
+			min, minJ = k, j
+		}
+	}
+	return min, minJ
+}
+
+// refresh recomputes node (level, idx) from its children with one CAS,
+// bumping the version. It returns whether the CAS installed the
+// recomputed value.
+//
+// The caller retries a failed refresh exactly once (double refresh).
+// Correctness of that bound leans on the version counter: versions only
+// grow, so a successful CAS proves its old-value load observed the
+// latest write. If both of a propagator's refresh attempts fail, two
+// other refreshes succeeded in between; the second loaded the node
+// *after* the first's CAS — which is after the propagator's child
+// update — and read the children after that load, so it saw the
+// propagator's update (or newer) and installed an aggregate covering
+// it. Either way, after a store-then-double-refresh the node reflects
+// the store or something newer.
+func (t *Tree) refresh(caller, level, idx int) bool {
+	old := t.levels[level][idx].w.Load()
+	min, _ := t.minChild(level, idx)
+	owner := -1
+	if min != 0 {
+		owner = Tid(min)
+	}
+	yield.At(yield.HTRefresh, caller, owner)
+	ver := (old>>keyBits + 1) & tidMask
+	return t.levels[level][idx].w.CompareAndSwap(old, ver<<keyBits|min)
+}
+
+// repairFrom double-refreshes node (level, idx) and every ancestor up
+// to the root: O(Fanout · log n) steps, no loops beyond the fixed path.
+func (t *Tree) repairFrom(caller, level, idx, origin int) {
+	for l := level; l < len(t.levels); l++ {
+		yield.At(yield.HTPropagate, caller, origin)
+		if !t.refresh(caller, l, idx) {
+			t.refresh(caller, l, idx)
+		}
+		idx /= Fanout
+	}
+}
+
+// Announce publishes tid's pending request at the given priority (its
+// phase number) and propagates it toward the root. Owner-only.
+func (t *Tree) Announce(tid int, prio uint64) {
+	t.leaves[tid].w.Store(packKey(prio, tid))
+	t.repairFrom(tid, 0, tid/Fanout, tid)
+}
+
+// Clear retires tid's announcement and propagates the retraction.
+// Owner-only.
+func (t *Tree) Clear(tid int) {
+	t.leaves[tid].w.Store(0)
+	t.repairFrom(tid, 0, tid/Fanout, tid)
+}
+
+// ClearStale lets a helper retire an announcement it has validated as
+// no longer pending: w must be the exact leaf word the helper read
+// before validating. The CAS cannot clear a newer announcement (leaf
+// words never recur — per-thread phases are strictly increasing).
+// Returns whether this call did the clearing.
+func (t *Tree) ClearStale(caller, tid int, w uint64) bool {
+	if w == 0 || !t.leaves[tid].w.CompareAndSwap(w, 0) {
+		return false
+	}
+	t.repairFrom(caller, 0, tid/Fanout, tid)
+	return true
+}
+
+// Repair re-propagates tid's leaf-to-root path without touching the
+// leaf. Helpers call it when a descent dead-ends at an empty leaf, so
+// stale aggregates get fixed instead of trusted.
+func (t *Tree) Repair(caller, tid int) {
+	t.repairFrom(caller, 0, tid/Fanout, tid)
+}
+
+// Oldest walks root-to-leaf toward the minimum key and returns the
+// leaf's thread id and word. ok is false when nothing is discoverably
+// pending this round — the tree was empty at the root, or a stale
+// aggregate dead-ended the descent (in which case Oldest repairs the
+// dead end before returning, so a bounded number of retries converges).
+// The result is a hint: the caller must validate (tid, w) against the
+// thread's real record before acting, and should ClearStale the leaf if
+// validation shows the request already finished.
+func (t *Tree) Oldest(caller int) (tid int, w uint64, ok bool) {
+	top := len(t.levels) - 1
+	if t.levels[top][0].w.Load()&keyMask == 0 {
+		return 0, 0, false
+	}
+	idx := 0
+	for level := top; level >= 0; level-- {
+		yield.At(yield.HTDescend, caller, -1)
+		_, minJ := t.minChild(level, idx)
+		if minJ < 0 {
+			// The node advertised a key but every child is empty:
+			// a retired announcement's propagation is mid-flight or
+			// lost to a benign race. Repair this node and its
+			// ancestors rather than trusting the hint.
+			t.repairFrom(caller, level, idx, -1)
+			return 0, 0, false
+		}
+		idx = minJ
+	}
+	w = t.leaves[idx].w.Load()
+	if w == 0 {
+		t.Repair(caller, idx)
+		return idx, 0, false
+	}
+	return idx, w, true
+}

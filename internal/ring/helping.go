@@ -12,9 +12,10 @@
 // publishes a TICKET — a versioned word naming the claimed (segment,
 // index) — so that from that moment ANY thread can finish the operation
 // from public state alone. Threads entering an operation while the gate
-// is up make one bounded help attempt per pending record; dequeuers that
-// claim a slot a slow enqueuer has reserved finish that enqueue inline
-// instead of burning it. Completion is funnelled through a single CAS on
+// is up make one bounded help attempt on the OLDEST announced request,
+// found by an O(log n) helptree descent (helpOldest) rather than a scan
+// over all n records; dequeuers that claim a slot a slow enqueuer has
+// reserved finish that enqueue inline instead of burning it. Completion is funnelled through a single CAS on
 // the record's control word (pending -> done), which is what makes the
 // operation happen exactly once no matter how many helpers race.
 //
@@ -132,17 +133,23 @@ func ticketIdx(w uint64) uint64 { return w&tktIdxMask - 1 }
 func ticketIsDeq(w uint64) bool { return w&tktKindDeq != 0 }
 
 // helpRec is one thread's pre-allocated helping record. ctl/tPub/tSeg
-// are the public protocol words; seq and tkt are owner-private mirrors
-// (the owner is the only writer of the public words, so it needs no
-// atomics to remember where it is). Padded: records are scanned by
-// helpers but written on every slow attempt.
+// are the public protocol words; seq, tkt, phase, tid, and announced
+// are owner-private (the owner is the only writer of the public words,
+// so it needs no atomics to remember where it is). phase is the
+// request's global helptree priority (assigned at openRequest);
+// announced tracks whether the owner's leaf currently advertises this
+// request. Padded: records are read by helpers but written on every
+// slow attempt.
 type helpRec[T any] struct {
-	ctl  atomic.Uint64
-	tPub atomic.Uint64
-	tSeg atomic.Pointer[segment[T]]
-	seq  uint64
-	tkt  uint64
-	_    [sepBytes - 40]byte
+	ctl       atomic.Uint64
+	tPub      atomic.Uint64
+	tSeg      atomic.Pointer[segment[T]]
+	seq       uint64
+	tkt       uint64
+	phase     uint64
+	tid       int32
+	announced bool
+	_         [sepBytes - 53]byte
 }
 
 // publishTicket points the record's ticket at the owner's freshly
@@ -166,6 +173,10 @@ func (q *Queue[T]) openRequest(tid int, state uint64) (rec *helpRec[T], seq uint
 	rec = &q.recs[tid]
 	rec.seq++
 	seq = rec.seq
+	// The request's helptree priority: globally monotone, so "oldest
+	// announced" means "longest waiting", and per-thread strictly
+	// increasing, so leaf words never recur (ClearStale soundness).
+	rec.phase = q.helpPhase.Add(1)
 	rec.tPub.Store(0)
 	rec.ctl.Store(ctlWord(seq, state))
 	q.slow.Add(1)
@@ -173,11 +184,35 @@ func (q *Queue[T]) openRequest(tid int, state uint64) (rec *helpRec[T], seq uint
 	return rec, seq
 }
 
+// announceHelp publishes the owner's pending request in its helptree
+// leaf. Called only after the request's ticket is public — an announced
+// request is always helpable from public state (the tree never points
+// helpers at the unhelpable pre-ticket stretch; the cursor backstop in
+// helpOldest covers the announce gap itself).
+func (q *Queue[T]) announceHelp(rec *helpRec[T]) {
+	if q.tree != nil && !rec.announced {
+		rec.announced = true
+		q.tree.Announce(int(rec.tid), rec.phase)
+	}
+}
+
+// clearHelp withdraws the owner's announcement. Called when the current
+// attempt's ticket goes dead without deciding the request (so helpers
+// stop converging on a slot that can no longer help them help) and at
+// closeRequest.
+func (q *Queue[T]) clearHelp(rec *helpRec[T]) {
+	if q.tree != nil && rec.announced {
+		rec.announced = false
+		q.tree.Clear(int(rec.tid))
+	}
+}
+
 // closeRequest retires a completed request: record back to idle, gate
 // down. Callers must have made the request's slot effects durable first
 // (promote/consume) — once the record leaves seq, claimants can no
 // longer attribute the slot to this request.
 func (q *Queue[T]) closeRequest(rec *helpRec[T], seq uint64) {
+	q.clearHelp(rec)
 	rec.ctl.Store(ctlWord(seq, hsIdle))
 	q.slow.Add(-1)
 }
@@ -208,6 +243,7 @@ func (q *Queue[T]) enqueueSlow(tid int, v T) {
 		sl.val = v
 		sl.resv.Store(packResv(tid, seq))
 		rec.publishTicket(s, false, t)
+		q.announceHelp(rec)
 		yield.At(yield.RGHelpTicket, tid, tid)
 		if !sl.state.CompareAndSwap(slotEmpty, slotReserved) &&
 			sl.state.Load() == slotUnsafe {
@@ -215,6 +251,7 @@ func (q *Queue[T]) enqueueSlow(tid int, v T) {
 			// Only now — with this attempt's slot terminal — is moving
 			// the ticket to a new claim safe for stale helpers.
 			q.enqRetries.Add(1)
+			q.clearHelp(rec)
 			continue
 		}
 		// Reserved (by us or a helper) or already promoted/consumed by
@@ -275,6 +312,7 @@ func (q *Queue[T]) dequeueSlow(tid int) (v T, ok bool) {
 		yield.At(yield.RGHelpClaim, tid, tid)
 		sl := &s.slots[h]
 		rec.publishTicket(s, true, h)
+		q.announceHelp(rec)
 		yield.At(yield.RGHelpTicket, tid, tid)
 	resolve:
 		for {
@@ -301,6 +339,10 @@ func (q *Queue[T]) dequeueSlow(tid int) (v T, ok bool) {
 				break resolve
 			}
 		}
+		// Only break resolve reaches here: this attempt's slot is
+		// terminal and the ticket is dead, so withdraw the announcement
+		// until the next claim re-publishes.
+		q.clearHelp(rec)
 	}
 }
 
@@ -358,36 +400,79 @@ func (q *Queue[T]) resolveReserved(tid int, sl *slot[T]) {
 	sl.state.CompareAndSwap(slotReserved, slotCommitted)
 }
 
-// helpRecords makes one bounded help attempt per pending record — the
-// O(nthreads) obligation every operation pays at entry while the slow
-// gate is up. Each attempt is O(1).
-func (q *Queue[T]) helpRecords(tid int) {
-	for i := range q.recs {
-		if i == tid {
-			continue
+// helpOldest is the helping obligation every operation pays at entry
+// while the slow gate is up. Instead of the old O(nthreads) scan over
+// all records, it asks the helptree for the OLDEST announced request —
+// an O(log nthreads) root-to-leaf descent — and makes one bounded help
+// attempt on it. Two descents cover the common churn case (first find
+// clears a stale leaf, second lands on a live request).
+//
+// The cyclic cursor probe is the backstop for the announce gap: a
+// request announces only after its ticket is public, so a thread frozen
+// between openRequest and announce is tree-invisible. The probe visits
+// one record per gated entry in round-robin order, which restores the
+// old scan's coverage at 1/n of its cost — enough, because a request in
+// the gap either publishes a ticket (then the tree finds it) or is
+// frozen pre-ticket (then nobody, scan included, could help it anyway).
+func (q *Queue[T]) helpOldest(tid int) {
+	cur := &q.helpCur[tid]
+	i := cur.i
+	cur.i++
+	if cur.i >= q.nthreads {
+		cur.i = 0
+	}
+	if i != tid {
+		q.helpRecord(tid, i, 0, false)
+	}
+	if q.tree == nil {
+		return
+	}
+	for r := 0; r < 2; r++ {
+		owner, w, ok := q.tree.Oldest(tid)
+		if !ok {
+			continue // descent hit churn; the tree self-repaired
 		}
-		rec := &q.recs[i]
-		st := ctlState(rec.ctl.Load())
-		if st != hsEnqPending && st != hsDeqPending {
-			continue
+		if owner == tid {
+			return // oldest is us; drive our own request instead
 		}
-		yield.At(yield.RGHelpScan, tid, i)
-		// Seqlock ticket read; see the package comment.
-		w := rec.tPub.Load()
-		if w == 0 {
-			continue
-		}
-		s := rec.tSeg.Load()
-		if rec.tPub.Load() != w {
-			continue
-		}
-		sl := &s.slots[ticketIdx(w)]
-		if ticketIsDeq(w) {
-			q.helpDeqTicket(tid, i, rec, sl, w)
-		} else {
-			q.helpEnqTicket(tid, i, rec, sl)
+		if q.helpRecord(tid, owner, w, true) {
+			return
 		}
 	}
+}
+
+// helpRecord makes one bounded help attempt on owner's record: the same
+// O(1) ticket-read-and-drive step the old scan performed per record.
+// fromTree carries the leaf word the tree reported so a request found
+// already decided can have its stale announcement cleared (the CAS is
+// exact-word, so it can never wipe a newer announcement). Returns true
+// if the record held a live pending request.
+func (q *Queue[T]) helpRecord(tid, owner int, w uint64, fromTree bool) bool {
+	rec := &q.recs[owner]
+	st := ctlState(rec.ctl.Load())
+	if st != hsEnqPending && st != hsDeqPending {
+		if fromTree {
+			q.tree.ClearStale(tid, owner, w)
+		}
+		return false
+	}
+	yield.At(yield.RGHelpScan, tid, owner)
+	// Seqlock ticket read; see the package comment.
+	tw := rec.tPub.Load()
+	if tw == 0 {
+		return true // pending but pre-ticket: not helpable yet
+	}
+	s := rec.tSeg.Load()
+	if rec.tPub.Load() != tw {
+		return true
+	}
+	sl := &s.slots[ticketIdx(tw)]
+	if ticketIsDeq(tw) {
+		q.helpDeqTicket(tid, owner, rec, sl, tw)
+	} else {
+		q.helpEnqTicket(tid, owner, rec, sl)
+	}
+	return true
 }
 
 // helpEnqTicket performs the reserve/finalize/promote steps for an

@@ -85,6 +85,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"wfq/internal/helptree"
 	"wfq/internal/yield"
 )
 
@@ -185,6 +186,14 @@ type freeSlot[T any] struct {
 	_ [sepBytes - 8]byte
 }
 
+// helpCursor is one thread's cyclic index into the helping records for
+// the deterministic probe backstop (owner-written only; padded because
+// it moves on every gated entry).
+type helpCursor struct {
+	i int
+	_ [sepBytes - 8]byte
+}
+
 // Queue is the ring-segment MPMC queue. Create one with New; all
 // methods are safe for concurrent use by up to NumThreads() threads
 // with distinct tids.
@@ -204,10 +213,19 @@ type Queue[T any] struct {
 
 	// recs are the pre-allocated per-thread helping records; slow is
 	// the gate counter — positive while any request is pending, which
-	// is when operations pay the O(nthreads) help scan at entry.
+	// is when operations pay the bounded help step at entry (a cursor
+	// probe plus an O(log n) helptree descent — see helpOldest).
 	recs []helpRec[T]
 	slow atomic.Int64
 	_    [sepBytes - 8]byte
+	// tree is the helptree announcement structure (helping mode only):
+	// slow requests announce (phase, tid) once their ticket is public,
+	// and gated entries descend to the oldest instead of scanning all
+	// records. helpPhase hands out the global priorities; helpCur is
+	// the per-thread cursor of the deterministic probe backstop.
+	tree      *helptree.Tree
+	helpCur   []helpCursor
+	helpPhase atomic.Uint64
 
 	// Reclamation and slow-lane statistics (see Stats). All are off the
 	// successful hot path: the segment counters move once per segSize
@@ -285,6 +303,13 @@ func New[T any](nthreads, segSize int, opts ...Option) *Queue[T] {
 		ann:      make([]annSlot[T], nthreads),
 		free:     make([]freeSlot[T], FreeListCap),
 		recs:     make([]helpRec[T], nthreads),
+	}
+	for i := range q.recs {
+		q.recs[i].tid = int32(i)
+	}
+	if o.helping {
+		q.tree = helptree.New(nthreads)
+		q.helpCur = make([]helpCursor, nthreads)
 	}
 	s := q.newSegment()
 	q.head.Store(s)
@@ -445,7 +470,7 @@ func (q *Queue[T]) advanceHead(tid int, s *segment[T]) bool {
 func (q *Queue[T]) Enqueue(tid int, v T) {
 	q.checkTid(tid)
 	if q.helping && q.slow.Load() > 0 {
-		q.helpRecords(tid)
+		q.helpOldest(tid)
 	}
 	fails := 0
 	for {
@@ -484,7 +509,7 @@ func (q *Queue[T]) Enqueue(tid int, v T) {
 func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 	q.checkTid(tid)
 	if q.helping && q.slow.Load() > 0 {
-		q.helpRecords(tid)
+		q.helpOldest(tid)
 	}
 	var zero T
 	fails := 0
@@ -573,7 +598,7 @@ func (q *Queue[T]) Dequeue(tid int) (v T, ok bool) {
 func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 	q.checkTid(tid)
 	if q.helping && q.slow.Load() > 0 {
-		q.helpRecords(tid)
+		q.helpOldest(tid)
 	}
 	// The patience allowance budgets the boundary crossings a batch of
 	// this size legitimately needs on top of the per-op burn patience.
@@ -635,7 +660,7 @@ func (q *Queue[T]) EnqueueBatch(tid int, vs []T) {
 func (q *Queue[T]) DequeueBatch(tid int, dst []T) int {
 	q.checkTid(tid)
 	if q.helping && q.slow.Load() > 0 {
-		q.helpRecords(tid)
+		q.helpOldest(tid)
 	}
 	n := 0
 	for n < len(dst) {
@@ -750,10 +775,10 @@ func (q *Queue[T]) Stats() Stats {
 		SegSize: int(q.segSize),
 		SegmentBytes: int64(unsafe.Sizeof(segment[T]{})) +
 			int64(q.segSize)*int64(unsafe.Sizeof(slot[T]{})),
-		Allocated:  q.segAllocs.Load(),
-		Reused:     q.segReused.Load(),
-		Recycled:   q.segRecycled.Load(),
-		Dropped:    q.segDropped.Load(),
+		Allocated:     q.segAllocs.Load(),
+		Reused:        q.segReused.Load(),
+		Recycled:      q.segRecycled.Load(),
+		Dropped:       q.segDropped.Load(),
 		DeqBurns:      q.deqBurns.Load(),
 		EnqRetries:    q.enqRetries.Load(),
 		SlowEnqs:      q.slowEnqs.Load(),

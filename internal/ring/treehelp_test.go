@@ -1,0 +1,265 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfq/internal/lincheck"
+	"wfq/internal/xrand"
+	"wfq/internal/yield"
+)
+
+// Choreographed races for the helptree wiring: each test freezes a
+// thread inside a specific tree window (announce propagation, clear
+// propagation, descent) and asserts that helpers route around the stale
+// state without losing, duplicating, or stalling on the victim's
+// operation. The tree's own CAS-level races live in internal/helptree;
+// these are the queue-level versions.
+
+// TestTreeStaleClearPropagation freezes the victim inside Clear's
+// upward propagation, AFTER its leaf is zeroed but BEFORE the root
+// aggregate stops naming it: the exact "helper descends into a
+// just-completed leaf" window. The helper's descents must dead-end,
+// self-repair, and keep completing its own operations — the frozen
+// victim's finished request must not wedge or slow anyone.
+func TestTreeStaleClearPropagation(t *testing.T) {
+	const frozen, helper = 0, 1
+	q := New[int64](2, 8, WithPatience(0))
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var prop atomic.Int32
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		// 1st HTPropagate from the victim: Announce's repair.
+		// 2nd: Clear's repair — the leaf is already zero here.
+		if p == yield.HTPropagate && caller == frozen && prop.Add(1) == 2 {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(frozen, 42)
+		close(done)
+	}()
+	<-parked
+
+	// The victim's enqueue is decided (ctl done, slot committed); only
+	// its tree cleanup is stuck. The helper must see a stale root, fail
+	// its descents benignly, and still run at full function: drain the
+	// 42, then push/pop its own traffic through the same gate-up queue.
+	if v, ok := q.Dequeue(helper); !ok || v != 42 {
+		t.Fatalf("dequeue during stale-clear window = (%d,%v), want (42,true)", v, ok)
+	}
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(helper, 1000+i)
+		if v, ok := q.Dequeue(helper); !ok || v != 1000+i {
+			t.Fatalf("helper op %d under stale aggregate = (%d,%v)", i, v, ok)
+		}
+	}
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim never finished its clear propagation")
+	}
+	if v, ok := q.Dequeue(helper); ok {
+		t.Fatalf("duplicate delivery after stale-clear race: %d", v)
+	}
+}
+
+// TestTreeFinalizeRacesPropagation freezes the victim mid-ANNOUNCE
+// propagation — leaf set, aggregates not yet — while its ticket is
+// already public. A helper must still complete the victim's enqueue
+// (through the reserved-slot resolution the tree does not gate) and the
+// victim's later propagation of a since-finalized request must leave
+// the tree clean rather than resurrect the announcement.
+func TestTreeFinalizeRacesPropagation(t *testing.T) {
+	const frozen, helper = 0, 1
+	q := New[int64](2, 8, WithPatience(0))
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.HTPropagate && caller == frozen {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(frozen, 42) // ticket public, announce propagation frozen
+		close(done)
+	}()
+	<-parked
+
+	// Finalize the frozen request out from under the propagation.
+	if v, ok := q.Dequeue(helper); !ok || v != 42 {
+		t.Fatalf("dequeue during frozen announce = (%d,%v), want (42,true)", v, ok)
+	}
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim never completed after helped finalize")
+	}
+
+	// The victim's resumed propagation pushed a key for a request that
+	// closeRequest has since cleared. Helpers must converge to "nothing
+	// announced" (ClearStale on the decided record), not spin on it —
+	// observable as the helper completing fresh traffic and no
+	// duplicate 42 appearing.
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(helper, 2000+i)
+		if v, ok := q.Dequeue(helper); !ok || v != 2000+i {
+			t.Fatalf("helper op %d after propagation race = (%d,%v)", i, v, ok)
+		}
+	}
+	if v, ok := q.Dequeue(helper); ok {
+		t.Fatalf("duplicate delivery after propagation race: %d", v)
+	}
+}
+
+// TestTreeTwoHelpersConvergeOnOldest freezes a victim right after its
+// ticket and announcement are public, then lets TWO helpers find it
+// through the tree simultaneously. Both must be allowed to help; the
+// funnel CAS must deliver the value exactly once.
+func TestTreeTwoHelpersConvergeOnOldest(t *testing.T) {
+	const frozen = 0
+	q := New[int64](3, 8, WithPatience(0))
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	prev := yield.Set(func(p yield.Point, caller, owner int) {
+		if p == yield.RGHelpTicket && caller == frozen {
+			once.Do(func() {
+				close(parked)
+				<-resume
+			})
+		}
+	})
+	defer yield.Set(prev)
+
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(frozen, 42)
+		close(done)
+	}()
+	<-parked
+
+	results := make(chan int64, 2)
+	var wg sync.WaitGroup
+	for h := 1; h <= 2; h++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			if v, ok := q.Dequeue(tid); ok {
+				results <- v
+			}
+		}(h)
+	}
+	wg.Wait()
+	close(results)
+
+	var got []int64
+	for v := range results {
+		got = append(got, v)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("two converging helpers delivered %v, want exactly [42]", got)
+	}
+
+	close(resume)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim never completed after converged help")
+	}
+	if v, ok := q.Dequeue(1); ok {
+		t.Fatalf("duplicate delivery after converged help: %d", v)
+	}
+	if st := q.Stats(); st.HelpFinalizes == 0 {
+		t.Fatalf("no helper finalize recorded: %+v", st)
+	}
+}
+
+// TestTreeLincheckFrozenPropagation records concurrent histories while
+// one worker spends most of the run frozen mid-propagation — its leaf
+// visible, its aggregates stale — so nearly every other operation runs
+// against a tree the victim half-updated. The full history (victim's
+// operation included, spanning the freeze) must stay linearizable
+// against a sequential FIFO.
+func TestTreeLincheckFrozenPropagation(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		const workers = 4
+		const ops = 30
+		const victim = 3
+		q := New[int64](workers, 8, WithPatience(0))
+		rec := lincheck.NewRecorder(workers, ops)
+
+		resume := make(chan struct{})
+		var once sync.Once
+		prev := yield.Set(func(p yield.Point, caller, owner int) {
+			if p == yield.HTPropagate && caller == victim {
+				once.Do(func() { <-resume })
+			}
+		})
+
+		var liveWG, victimWG sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg := &liveWG
+			if w == victim {
+				wg = &victimWG
+			}
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*100 + tid + 1))
+				n := ops
+				if tid == victim {
+					n = 1 // one op, frozen inside it for the whole round
+				}
+				for i := 0; i < n; i++ {
+					if tid == victim || rng.Bool() {
+						v := int64(tid)<<32 | int64(i)
+						tok := rec.BeginEnq(tid, v)
+						q.Enqueue(tid, v)
+						rec.EndEnq(tok)
+					} else {
+						tok := rec.BeginDeq(tid)
+						v, ok := q.Dequeue(tid)
+						rec.EndDeq(tok, v, ok)
+					}
+				}
+			}(w)
+		}
+		liveWG.Wait() // all live workers finish against the stale tree
+		close(resume) // then the victim's propagation lands late
+		victimWG.Wait()
+		yield.Set(prev)
+
+		var c lincheck.Checker
+		res, err := c.Check(rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == lincheck.NotLinearizable {
+			t.Fatalf("round %d: helped history with frozen propagation not linearizable", round)
+		}
+	}
+}

@@ -181,6 +181,23 @@ const (
 	// finalized-but-unconsumable slot that the slot's dequeuer claimant
 	// must promote itself.
 	RGHelpPromote
+	// HTPropagate fires once per tree level while a helptree
+	// announcement (or retraction) propagates leaf-to-root
+	// (internal/helptree) — a thread frozen here leaves stale
+	// aggregates above the refreshed prefix of its path, which helpers
+	// must repair rather than trust.
+	HTPropagate
+	// HTRefresh fires immediately before each aggregate-refresh CAS of
+	// the helptree, after the children were read — the window in which
+	// a concurrent announce/finalize invalidates the recomputed
+	// minimum and the versioned CAS must lose (forcing the
+	// double-refresh) instead of installing a stale aggregate.
+	HTRefresh
+	// HTDescend fires once per level of a helper's root-to-leaf
+	// helptree descent toward the oldest announced request — between
+	// two levels the chosen subtree's request may complete, so the
+	// descent may dead-end at an empty leaf the helper must repair.
+	HTDescend
 	numPoints int = iota
 )
 
@@ -199,6 +216,7 @@ var pointNames = [numPoints]string{
 	"RGEnqClaim", "RGDeqClaim", "RGSegAdvance", "RGRetry",
 	"RGHelpPublish", "RGHelpClaim", "RGHelpTicket", "RGHelpScan",
 	"RGHelpFinalize", "RGHelpPromote",
+	"HTPropagate", "HTRefresh", "HTDescend",
 }
 
 // String returns the symbolic name of the point.

@@ -31,6 +31,16 @@ go run -race ./cmd/wfqchaos -quick
 # pending) and the survivors' step bounds must hold while they finish
 # the victims' operations from their tickets.
 go run -race ./cmd/wfqchaos -quick -scenarios ring-wf,ring-wf-sharded -profiles permanent-kill -seed 7
+# Helptree-focused cell: victims freeze permanently inside the tree's
+# propagate/refresh/descend windows (the `tree` point class) on both
+# slow paths; survivors must repair stale aggregates and stay inside
+# the tightened polylog step budget.
+go run -race ./cmd/wfqchaos -quick -scenarios core-tree,ring-tree -profiles permanent-kill -seed 11
+# Tree races at the unit level, and the step-vs-threads series smoke:
+# one tiny series point per tree scenario (full committed series lives
+# in results/BENCH_polylog.json, regenerated via `wfqchaos -series`).
+go test -race ./internal/helptree/
+go test -run='^$' -bench BenchmarkStepSeries -benchtime=1x ./internal/chaos/
 # Ring bench smoke: the ring backend's fast path must run, not just
 # pass tests — a one-point comparison against fast WF catches gross
 # perf regressions (committed numbers live in results/BENCH_ring.json).
