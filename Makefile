@@ -1,10 +1,23 @@
 # Convenience targets; `make check` is the tier-1 gate every change
 # must pass (see README.md).
 
-.PHONY: check test bench bench-ring figures
+.PHONY: check test bench bench-ring bench-qsvc serve-smoke figures
 
 check:
 	sh scripts/check.sh
+
+# Serve smoke: boot wfqserve on an ephemeral port, drive wfqload -quick
+# plus open-loop profiles through the wire protocol (zero lost or
+# duplicated envelopes, or the generator exits nonzero), then run the
+# server-backed pipeline example against the same server.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Queue-service acceptance sweep: Poisson arrival rates × {core, ring},
+# bursty overload against an admission cap, and the 10k-user closed
+# loop; committed as results/BENCH_qsvc.json.
+bench-qsvc:
+	sh scripts/bench_qsvc.sh
 
 test:
 	go test ./...

@@ -73,9 +73,11 @@ func (q *Queue[T]) TryEnqueueBatch(tid int, vs []T) error {
 }
 
 // DequeueCtx removes and returns the oldest element, blocking while the
-// queue is empty. It returns ctx.Err() when ctx ends first, and
-// ErrClosed when the queue is closed AND drained — elements enqueued
-// before Close are still delivered (with a nil error) after it.
+// queue is empty. It returns ErrDeadlineExceeded (errors.Is-compatible
+// with context.DeadlineExceeded) when ctx's deadline ends the wait,
+// ctx.Err() when ctx is canceled, and ErrClosed when the queue is
+// closed AND drained — elements enqueued before Close are still
+// delivered (with a nil error) after it.
 //
 // The fast path is wait-free: when an element is available, DequeueCtx
 // is the plain Dequeue plus one atomic load. Parking (channel wait)
@@ -83,14 +85,16 @@ func (q *Queue[T]) TryEnqueueBatch(tid int, vs []T) error {
 // registration protocol guarantees no lost wakeups — see
 // internal/waiter.
 func (q *Queue[T]) DequeueCtx(ctx context.Context, tid int) (T, error) {
-	return waiter.DequeueCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, q.cycle)
+	v, err := waiter.DequeueCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, q.cycle)
+	return v, wrapCtxErr(err)
 }
 
 // DequeueBatchCtx removes up to len(dst) elements into dst, blocking
 // until at least one is obtained (n > 0 implies a nil error), the queue
 // is closed and drained (0, ErrClosed), or ctx ends (0, ctx.Err()).
 func (q *Queue[T]) DequeueBatchCtx(ctx context.Context, tid int, dst []T) (int, error) {
-	return waiter.DequeueBatchCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, q.cycle, dst)
+	n, err := waiter.DequeueBatchCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, q.cycle, dst)
+	return n, wrapCtxErr(err)
 }
 
 // singleSource adapts an unsharded backend to the waiter.Source view.
@@ -144,13 +148,15 @@ func (h *Handle[T]) TryEnqueueBatch(vs []T) error { return h.q.TryEnqueueBatch(h
 // generation's liveness, not the bare tid, so the waiter cannot consume
 // wakeups that belong to the id's next lease.
 func (h *Handle[T]) DequeueCtx(ctx context.Context) (T, error) {
-	return waiter.DequeueCtx[T](ctx, h.q.g, h.q.src, h, h.h.TID(), waiter.DefaultSpin, h.q.cycle)
+	v, err := waiter.DequeueCtx[T](ctx, h.q.g, h.q.src, h, h.h.TID(), waiter.DefaultSpin, h.q.cycle)
+	return v, wrapCtxErr(err)
 }
 
 // DequeueBatchCtx is Queue.DequeueBatchCtx through the handle's lease;
 // see DequeueCtx for the release semantics.
 func (h *Handle[T]) DequeueBatchCtx(ctx context.Context, dst []T) (int, error) {
-	return waiter.DequeueBatchCtx[T](ctx, h.q.g, h.q.src, h, h.h.TID(), waiter.DefaultSpin, h.q.cycle, dst)
+	n, err := waiter.DequeueBatchCtx[T](ctx, h.q.g, h.q.src, h, h.h.TID(), waiter.DefaultSpin, h.q.cycle, dst)
+	return n, wrapCtxErr(err)
 }
 
 // Close closes the handle's queue; see Queue.Close.
@@ -185,13 +191,15 @@ func (q *HPQueue[T]) TryEnqueueBatch(tid int, vs []T) error {
 
 // DequeueCtx is the blocking dequeue; see Queue.DequeueCtx.
 func (q *HPQueue[T]) DequeueCtx(ctx context.Context, tid int) (T, error) {
-	return waiter.DequeueCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, 1)
+	v, err := waiter.DequeueCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, 1)
+	return v, wrapCtxErr(err)
 }
 
 // DequeueBatchCtx is the blocking batch dequeue; see
 // Queue.DequeueBatchCtx.
 func (q *HPQueue[T]) DequeueBatchCtx(ctx context.Context, tid int, dst []T) (int, error) {
-	return waiter.DequeueBatchCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, 1, dst)
+	n, err := waiter.DequeueBatchCtx[T](ctx, q.g, q.src, nil, tid, waiter.DefaultSpin, 1, dst)
+	return n, wrapCtxErr(err)
 }
 
 // Interface conformance: the int64 instantiations drive the harness's

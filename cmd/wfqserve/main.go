@@ -1,0 +1,55 @@
+// Command wfqserve runs the queue service: a TCP server exposing the
+// registry of named wait-free queues over the wire protocol, with the
+// timeout sweep ticking in-process. Clients are cmd/wfqload, the
+// internal/qsvc/client package, and examples/pipeline.
+//
+// Usage:
+//
+//	wfqserve -addr :7411
+//	wfqserve -addr 127.0.0.1:0 -portfile /tmp/wfq.port   # scripts: pick a free port
+//
+// The process serves until SIGINT/SIGTERM, then shuts down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wfq/internal/qsvc/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7411", "listen address (\":0\" picks a free port)")
+		portfile   = flag.String("portfile", "", "write the bound host:port to this file (for scripts using -addr :0)")
+		sweep      = flag.Duration("sweep", time.Millisecond, "timeout-sweep tick interval")
+		maxThreads = flag.Int("maxthreads", 0, "default per-queue session bound (0 = library default)")
+	)
+	flag.Parse()
+
+	s := server.New(server.Options{
+		MaxThreads:    *maxThreads,
+		SweepInterval: *sweep,
+	})
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		log.Fatalf("wfqserve: %v", err)
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound.String()), 0o644); err != nil {
+			log.Fatalf("wfqserve: portfile: %v", err)
+		}
+	}
+	fmt.Printf("wfqserve: listening on %s (sweep %v)\n", bound, *sweep)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("wfqserve: shutting down (%d requests swept)\n", s.Swept())
+	s.Shutdown()
+}

@@ -1,0 +1,61 @@
+package wfq
+
+import (
+	"context"
+	"errors"
+)
+
+// This file is the typed-error surface the blocking and queue-service
+// layers share. Two conditions recur across every serving scenario —
+// "you waited too long" and "the queue refused to grow" — and both need
+// to be recognizable with errors.Is at every level of the stack, from a
+// raw DequeueCtx to a wire-protocol response decoded by a client.
+
+// ErrAdmission is the typed backpressure error: an enqueue was rejected
+// by an admission-control policy (a depth or inflight cap) instead of
+// growing the queue without bound. The queue-service layer
+// (internal/qsvc) returns it — wrapped with the queue's name — whenever
+// a configured cap would be exceeded; nothing is published on a
+// rejected enqueue. Callers test with errors.Is(err, wfq.ErrAdmission)
+// and are expected to shed, retry with backoff, or surface the
+// rejection to their own caller.
+var ErrAdmission = errors.New("wfq: admission rejected: queue at capacity")
+
+// ErrDeadlineExceeded is the typed deadline error of the blocking and
+// queue-service layers:
+//
+//   - DequeueCtx/DequeueBatchCtx return it when the context's DEADLINE
+//     (as opposed to a cancellation, which stays context.Canceled)
+//     ended the wait;
+//   - the queue-service timeout sweep (internal/qsvc) completes a
+//     request with it — wrapped with the queue's name — when the
+//     request expires in queue before any consumer claims it.
+//
+// It is compatible with the standard library in both directions:
+// errors.Is(err, wfq.ErrDeadlineExceeded) and
+// errors.Is(err, context.DeadlineExceeded) both hold for every error
+// this package produces for a missed deadline, and it implements the
+// net.Error Timeout contract.
+var ErrDeadlineExceeded error = deadlineError{}
+
+// deadlineError is the concrete type behind ErrDeadlineExceeded. It
+// unwraps to context.DeadlineExceeded so existing errors.Is checks
+// against the context sentinel keep working unchanged.
+type deadlineError struct{}
+
+func (deadlineError) Error() string   { return "wfq: deadline exceeded" }
+func (deadlineError) Timeout() bool   { return true }
+func (deadlineError) Temporary() bool { return true }
+func (deadlineError) Unwrap() error   { return context.DeadlineExceeded }
+
+// wrapCtxErr maps the raw error out of the generic blocking loops onto
+// the typed facade surface: a deadline expiry becomes
+// ErrDeadlineExceeded (still errors.Is-compatible with the context
+// sentinel via Unwrap); every other error — context.Canceled,
+// ErrClosed, ErrReleased — passes through untouched.
+func wrapCtxErr(err error) error {
+	if err == context.DeadlineExceeded {
+		return ErrDeadlineExceeded
+	}
+	return err
+}

@@ -1,0 +1,113 @@
+package wfq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDeadlineErrorCompat pins the two-way errors.Is contract of the
+// typed deadline error: every deadline failure out of the blocking
+// layer must satisfy BOTH errors.Is(err, wfq.ErrDeadlineExceeded) and
+// errors.Is(err, context.DeadlineExceeded), so callers written against
+// either sentinel keep working.
+func TestDeadlineErrorCompat(t *testing.T) {
+	if !errors.Is(ErrDeadlineExceeded, context.DeadlineExceeded) {
+		t.Fatal("ErrDeadlineExceeded must unwrap to context.DeadlineExceeded")
+	}
+	var ne net.Error
+	if !errors.As(ErrDeadlineExceeded, &ne) || !ne.Timeout() {
+		t.Fatal("ErrDeadlineExceeded must implement net.Error with Timeout()=true")
+	}
+	// A wrapped form (the queue-service layer stamps the queue name on
+	// top) must still match both sentinels.
+	wrapped := fmt.Errorf("request on %q: %w", "orders", ErrDeadlineExceeded)
+	if !errors.Is(wrapped, ErrDeadlineExceeded) || !errors.Is(wrapped, context.DeadlineExceeded) {
+		t.Fatalf("wrapped deadline error lost a sentinel: %v", wrapped)
+	}
+}
+
+// TestDequeueCtxDeadlineTyped is the regression test for the facade
+// wrapping: DequeueCtx on an empty queue with an expired deadline must
+// return the typed error, deadline and cancellation must stay
+// distinguishable, and the Handle path must behave identically.
+func TestDequeueCtxDeadlineTyped(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{name: "core"},
+		{name: "ring", opts: []Option{WithRing(0)}},
+		{name: "sharded", opts: []Option{WithShards(2)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := New[int](4, tc.opts...)
+
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			defer cancel()
+			_, err := q.DequeueCtx(ctx, 0)
+			if !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("DequeueCtx deadline: got %v, want wfq.ErrDeadlineExceeded", err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("DequeueCtx deadline: got %v, want context.DeadlineExceeded compat", err)
+			}
+			if _, err := q.DequeueBatchCtx(ctx, 0, make([]int, 4)); !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("DequeueBatchCtx deadline: got %v", err)
+			}
+
+			h, errH := q.Handle()
+			if errH != nil {
+				t.Fatal(errH)
+			}
+			defer h.Release()
+			if _, err := h.DequeueCtx(ctx); !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("Handle.DequeueCtx deadline: got %v", err)
+			}
+
+			// Cancellation must NOT be promoted to a deadline error.
+			cctx, ccancel := context.WithCancel(context.Background())
+			ccancel()
+			if _, err := q.DequeueCtx(cctx, 0); !errors.Is(err, context.Canceled) || errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("DequeueCtx cancel: got %v, want pure context.Canceled", err)
+			}
+
+			// An available element still wins over an expired deadline
+			// (the documented element-over-deadline fast path), and the
+			// nil-error path is untouched by the wrapping.
+			if err := q.TryEnqueue(0, 7); err != nil {
+				t.Fatal(err)
+			}
+			if v, err := q.DequeueCtx(ctx, 0); err != nil || v != 7 {
+				t.Fatalf("DequeueCtx with element: got (%v, %v), want (7, nil)", v, err)
+			}
+		})
+	}
+}
+
+// TestDequeueCtxHPDeadlineTyped covers the hazard-pointer frontend's
+// wrapping path.
+func TestDequeueCtxHPDeadlineTyped(t *testing.T) {
+	q := NewHP[int](4, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := q.DequeueCtx(ctx, 0); !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("HP DequeueCtx deadline: got %v", err)
+	}
+}
+
+// TestAdmissionErrorTyped pins the admission sentinel's identity and
+// wrapping behaviour (the queue-service layer is its producer; the
+// sentinel itself lives here so clients need only the facade).
+func TestAdmissionErrorTyped(t *testing.T) {
+	wrapped := fmt.Errorf("enqueue on %q: %w", "orders", ErrAdmission)
+	if !errors.Is(wrapped, ErrAdmission) {
+		t.Fatalf("wrapped admission error lost the sentinel: %v", wrapped)
+	}
+	if errors.Is(ErrAdmission, ErrClosed) || errors.Is(ErrAdmission, context.DeadlineExceeded) {
+		t.Fatal("ErrAdmission must not alias other sentinels")
+	}
+}

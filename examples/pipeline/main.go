@@ -1,139 +1,200 @@
-// Pipeline: a three-stage processing pipeline (parse → transform → emit)
-// connected by wait-free queues, the kind of structure the paper's
-// introduction motivates: no stage can be starved by scheduling accidents
-// in another, because every queue operation completes in a bounded number
-// of steps.
+// Pipeline: a three-stage processing pipeline (parse → transform →
+// emit) whose stage boundaries are NAMED QUEUES ON A QUEUE SERVER
+// rather than in-process queues: the same wait-free structures, reached
+// through wfqserve's wire protocol, so the stages could as well be
+// three separate processes on three machines.
 //
-// Stage boundaries use the blocking/lifecycle layer: when a stage's
-// producers finish they Close the queue, and the next stage's workers
-// run DequeueCtx until it reports ErrClosed — the queue is closed AND
-// drained. No spin-polling, no completion counters: termination flows
-// through the queues themselves, exactly like closing a channel, while
-// the element path keeps its wait-free fast path (parking happens only
-// after bounded empty attempts).
+// Termination still flows through the queues themselves, exactly as in
+// the in-process version: when a stage's workers finish they close
+// their output queue server-side, and the next stage's workers run
+// blocking dequeues until the queue reports closed AND drained
+// (wfq.ErrClosed) — no counting, no polling, and the typed error
+// surface survives the wire.
 //
-// Run with:
+// Run self-hosted (starts an in-process server on a loopback port):
 //
 //	go run ./examples/pipeline
+//
+// Or against an external server:
+//
+//	go run ./cmd/wfqserve -addr 127.0.0.1:7411 &
+//	go run ./examples/pipeline -addr 127.0.0.1:7411
 package main
 
 import (
-	"context"
+	"encoding/binary"
 	"errors"
+	"flag"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
 	"wfq"
+	"wfq/internal/qsvc/client"
+	"wfq/internal/qsvc/server"
 )
 
-// item is the unit of work flowing through the pipeline.
+// item is the unit of work; it crosses the wire as 16 bytes.
 type item struct {
-	id    int
+	id    int64
 	value int64
 }
 
-const (
-	items           = 10000
-	workersPerStage = 2
-	maxThreads      = 16 // bound on concurrent handles per queue
-)
+func encode(it item) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, uint64(it.id))
+	binary.BigEndian.PutUint64(b[8:], uint64(it.value))
+	return b
+}
+
+func decode(b []byte) item {
+	return item{
+		id:    int64(binary.BigEndian.Uint64(b)),
+		value: int64(binary.BigEndian.Uint64(b[8:])),
+	}
+}
 
 func main() {
-	ctx := context.Background()
+	var (
+		addr    = flag.String("addr", "", "queue server address (empty: self-host in-process)")
+		items   = flag.Int("items", 10000, "items to push through the pipeline")
+		workers = flag.Int("workers", 2, "workers per stage")
+	)
+	flag.Parse()
 
-	// One queue between each pair of stages.
-	parsed := wfq.New[item](maxThreads)
-	transformed := wfq.New[item](maxThreads)
+	if *addr == "" {
+		srv := server.New(server.Options{})
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Shutdown()
+		*addr = bound.String()
+		fmt.Printf("pipeline: self-hosted queue server on %s\n", *addr)
+	}
+
+	// dial gives each worker its own connection (the protocol is one
+	// outstanding request per connection; blocking dequeues park the
+	// conn, so workers must not share).
+	dial := func() *client.Conn {
+		c, err := client.Dial(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	admin := dial()
+	defer admin.Close()
+	for _, name := range []string{"parsed", "transformed"} {
+		if _, err := admin.Create(name, client.CreateOptions{Backend: "ring"}); err != nil {
+			log.Fatalf("create %s: %v", name, err)
+		}
+	}
 
 	var stage1, stage2, stage3 sync.WaitGroup
 
-	// Stage 1: parse. Produces `items` items into `parsed`; the last
-	// worker out closes the queue, fixing the element set downstream
-	// consumers will drain.
-	for w := 0; w < workersPerStage; w++ {
+	// Stage 1: parse. Produces items into "parsed"; the last worker out
+	// closes the queue, fixing the element set downstream drains.
+	for w := 0; w < *workers; w++ {
 		stage1.Add(1)
 		go func(w int) {
 			defer stage1.Done()
-			h, err := parsed.Handle()
-			if err != nil {
-				panic(err)
-			}
-			defer h.Release()
-			for i := w; i < items; i += workersPerStage {
-				if err := h.TryEnqueue(item{id: i, value: int64(i)}); err != nil {
-					panic(err) // nobody closes parsed before stage 1 ends
+			c := dial()
+			defer c.Close()
+			for i := w; i < *items; i += *workers {
+				if err := c.Enqueue("parsed", encode(item{id: int64(i), value: int64(i)}), 0); err != nil {
+					log.Fatalf("stage1 enqueue: %v", err)
 				}
 			}
 		}(w)
 	}
-	go func() { stage1.Wait(); parsed.Close() }()
+	go func() {
+		stage1.Wait()
+		if err := admin.CloseQueue("parsed"); err != nil {
+			log.Fatalf("close parsed: %v", err)
+		}
+	}()
 
-	// Stage 2: transform. Blocks on `parsed`, squares values, forwards
-	// to `transformed`. ErrClosed means closed AND drained — every item
-	// has passed through, so exiting is safe without any counting.
-	for w := 0; w < workersPerStage; w++ {
+	// Stage 2: transform. Blocking-dequeues from "parsed", squares
+	// values, forwards to "transformed". ErrClosed across the wire means
+	// closed AND drained — exiting is safe without any counting.
+	for w := 0; w < *workers; w++ {
 		stage2.Add(1)
 		go func() {
 			defer stage2.Done()
-			in, err := parsed.Handle()
-			if err != nil {
-				panic(err)
-			}
-			defer in.Release()
-			out, err := transformed.Handle()
-			if err != nil {
-				panic(err)
-			}
-			defer out.Release()
+			c := dial()
+			defer c.Close()
 			for {
-				it, err := in.DequeueCtx(ctx)
+				b, ok, err := c.Dequeue("parsed", -1)
 				if err != nil {
 					if errors.Is(err, wfq.ErrClosed) {
 						return
 					}
-					panic(err)
+					log.Fatalf("stage2 dequeue: %v", err)
 				}
+				if !ok {
+					continue // bounded-wait timeout cannot happen with wait<0
+				}
+				it := decode(b)
 				it.value *= it.value
-				if err := out.TryEnqueue(it); err != nil {
-					panic(err)
+				if err := c.Enqueue("transformed", encode(it), 0); err != nil {
+					log.Fatalf("stage2 enqueue: %v", err)
 				}
 			}
 		}()
 	}
-	go func() { stage2.Wait(); transformed.Close() }()
+	go func() {
+		stage2.Wait()
+		if err := admin.CloseQueue("transformed"); err != nil {
+			log.Fatalf("close transformed: %v", err)
+		}
+	}()
 
-	// Stage 3: emit. Sums the squared values until `transformed` is
+	// Stage 3: emit. Sums the squared values until "transformed" is
 	// closed and drained.
-	var emitted atomic.Int64
-	var sum atomic.Int64
-	for w := 0; w < workersPerStage; w++ {
+	var emitted, sum atomic.Int64
+	for w := 0; w < *workers; w++ {
 		stage3.Add(1)
 		go func() {
 			defer stage3.Done()
-			h, err := transformed.Handle()
-			if err != nil {
-				panic(err)
-			}
-			defer h.Release()
+			c := dial()
+			defer c.Close()
 			for {
-				it, err := h.DequeueCtx(ctx)
+				b, ok, err := c.Dequeue("transformed", -1)
 				if err != nil {
 					if errors.Is(err, wfq.ErrClosed) {
 						return
 					}
-					panic(err)
+					log.Fatalf("stage3 dequeue: %v", err)
 				}
-				sum.Add(it.value)
+				if !ok {
+					continue
+				}
+				sum.Add(decode(b).value)
 				emitted.Add(1)
 			}
 		}()
 	}
 	stage3.Wait()
 
-	// Verify against the closed form: sum of squares 0²+1²+…+(n-1)².
-	n := int64(items)
+	// The server saw every element: check its ledger, then verify the
+	// arithmetic against the closed form 0²+1²+…+(n-1)².
+	for _, name := range []string{"parsed", "transformed"} {
+		st, err := admin.Stats(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline: queue %-12s admitted=%d delivered=%d qdelay p99=%v\n",
+			name, st.Admitted, st.Delivered, st.Delay.P99)
+	}
+	n := int64(*items)
 	want := (n - 1) * n * (2*n - 1) / 6
+	ok := sum.Load() == want && emitted.Load() == n
 	fmt.Printf("pipeline processed %d items, sum of squares = %d (want %d, match=%v)\n",
-		emitted.Load(), sum.Load(), want, sum.Load() == want)
+		emitted.Load(), sum.Load(), want, ok)
+	if !ok {
+		log.Fatal("pipeline verification failed")
+	}
 }

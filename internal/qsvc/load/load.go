@@ -1,0 +1,499 @@
+// Package load drives a queue server with closed- and open-loop
+// traffic and verifies conservation while doing so: every payload
+// carries a unique sequence number, producers record each request's
+// terminal outcome (admitted, delivered-confirmed, expired, rejected),
+// consumers record every delivery, and the run's verdict counts lost
+// and duplicated envelopes — both must be zero for any healthy run.
+//
+// Profiles:
+//
+//   - closed: N simulated users, each looping enqueue → think. A
+//     configurable fraction of users arm a per-request deadline and use
+//     the enqueue-and-wait verb, so their outcome (delivered vs expired
+//     by the server's timeout sweep) is confirmed end-to-end.
+//   - poisson: open loop; arrivals are a Poisson process at Rate/sec
+//     dispatched to a fixed worker pool.
+//   - bursty: modulated Poisson — Rate×BurstFactor for BurstOn, then
+//     Rate/BurstFactor for BurstOff, repeating. Exercises the admission
+//     cap and the sweep under overload.
+package load
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfq"
+	"wfq/internal/qsvc"
+	"wfq/internal/qsvc/client"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	Addr  string // server address
+	Queue string // queue name (created by the run)
+
+	// Queue shape, passed through to create.
+	Backend     string
+	Shards      int
+	SegSize     int
+	MaxThreads  int
+	MaxDepth    int
+	MaxInflight int
+
+	Profile  string        // "closed", "poisson", "bursty"
+	Users    int           // closed: simulated users
+	Think    time.Duration // closed: per-user think time between ops
+	Rate     float64       // poisson/bursty: mean arrivals per second
+	Duration time.Duration // offered-load phase length
+
+	// ArmedFraction of requests carry Deadline and use enqueue-and-wait
+	// (outcome confirmed end-to-end); the rest enqueue plain.
+	ArmedFraction float64
+	Deadline      time.Duration
+
+	Conns     int // producer connections (closed: also max parallel waits)
+	Consumers int // consumer connections draining the queue
+	Payload   int // payload bytes (min 9: sequence number + armed flag)
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue == "" {
+		c.Queue = "load"
+	}
+	if c.Profile == "" {
+		c.Profile = "closed"
+	}
+	if c.Users <= 0 {
+		c.Users = 64
+	}
+	if c.Rate <= 0 {
+		c.Rate = 5000
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 50 * time.Millisecond
+	}
+	if c.Conns <= 0 {
+		c.Conns = 32
+	}
+	if c.Consumers <= 0 {
+		c.Consumers = 8
+	}
+	if c.Payload < 9 {
+		c.Payload = 9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is one run's verdict and measurements; it marshals as one row
+// of results/BENCH_qsvc.json.
+type Result struct {
+	Profile     string  `json:"profile"`
+	Backend     string  `json:"backend"`
+	Users       int     `json:"users,omitempty"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+	RateOffered float64 `json:"rate_offered"` // sent/sec actually achieved
+	DurationSec float64 `json:"duration_sec"`
+	Conns       int     `json:"conns"`
+	Consumers   int     `json:"consumers"`
+
+	Sent      int64 `json:"sent"`      // enqueue attempts
+	Admitted  int64 `json:"admitted"`  // accepted by the server
+	Confirmed int64 `json:"confirmed"` // enqueue-and-wait completed delivered
+	Expired   int64 `json:"expired"`   // enqueue-and-wait expired by the sweep
+	Rejected  int64 `json:"rejected"`  // admission cap
+	Errors    int64 `json:"errors"`    // transport/other failures
+	Received  int64 `json:"received"`  // consumer-side deliveries
+
+	// The conservation verdict. Both MUST be zero.
+	Lost       int64 `json:"lost"`
+	Duplicated int64 `json:"duplicated"`
+
+	// EnqueueRTT is the client-observed per-op latency (for armed ops
+	// this includes the wait for completion).
+	EnqueueRTT qsvc.DelaySnapshot `json:"enqueue_rtt"`
+	// QueueDelay is the server-side enqueue→dequeue latency histogram.
+	QueueDelay qsvc.DelaySnapshot `json:"queue_delay"`
+	Server     qsvc.Stats         `json:"server"`
+}
+
+// Per-envelope ledger word: low 8 bits outcome, upper bits delivery
+// count. Producers add the outcome exactly once; consumers add 1<<8
+// per delivery; verification decodes both.
+const (
+	oPlain    = 1 // admitted without deadline — must be delivered exactly once
+	oConfirm  = 2 // enqueue-and-wait returned OK — must be delivered exactly once
+	oExpired  = 3 // enqueue-and-wait expired — must never be delivered
+	oRejected = 4 // admission-rejected — must never be delivered
+	seenUnit  = 1 << 8
+)
+
+const chunkBits = 16
+const chunkSize = 1 << chunkBits
+
+// ledger is a growable array of atomic words indexed by sequence
+// number; chunked so growth never moves live slots.
+type ledger struct {
+	mu     sync.RWMutex
+	chunks []*[chunkSize]atomic.Int64
+}
+
+func (l *ledger) slot(id uint64) *atomic.Int64 {
+	c := int(id >> chunkBits)
+	l.mu.RLock()
+	if c < len(l.chunks) {
+		s := l.chunks[c]
+		l.mu.RUnlock()
+		return &s[id&(chunkSize-1)]
+	}
+	l.mu.RUnlock()
+	l.mu.Lock()
+	for c >= len(l.chunks) {
+		l.chunks = append(l.chunks, new([chunkSize]atomic.Int64))
+	}
+	s := l.chunks[c]
+	l.mu.Unlock()
+	return &s[id&(chunkSize-1)]
+}
+
+// run carries the shared state of one load run.
+type run struct {
+	cfg    Config
+	led    ledger
+	nextID atomic.Uint64
+
+	sent, admitted, confirmed atomic.Int64
+	expired, rejected, errs   atomic.Int64
+	received                  atomic.Int64
+	rtt                       qsvc.Hist
+}
+
+// Run executes one load scenario against a live server and returns its
+// verdict. The queue is created fresh (the name must not exist) and is
+// left in place so the caller can inspect it.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := &run{cfg: cfg}
+
+	admin, err := client.Dial(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer admin.Close()
+	if _, err := admin.Create(cfg.Queue, client.CreateOptions{
+		Backend:     cfg.Backend,
+		Shards:      cfg.Shards,
+		SegSize:     cfg.SegSize,
+		MaxThreads:  cfg.MaxThreads,
+		MaxDepth:    cfg.MaxDepth,
+		MaxInflight: cfg.MaxInflight,
+	}); err != nil {
+		return nil, fmt.Errorf("create %q: %w", cfg.Queue, err)
+	}
+
+	// Consumers drain for the whole run and then until the queue stays
+	// empty after producers finish.
+	prodDone := make(chan struct{})
+	var consumers sync.WaitGroup
+	consErr := make(chan error, cfg.Consumers)
+	for i := 0; i < cfg.Consumers; i++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			if err := r.consume(prodDone); err != nil {
+				consErr <- err
+			}
+		}()
+	}
+
+	start := time.Now()
+	switch cfg.Profile {
+	case "closed":
+		err = r.closedLoop()
+	case "poisson":
+		err = r.openLoop(false)
+	case "bursty":
+		err = r.openLoop(true)
+	default:
+		err = fmt.Errorf("load: unknown profile %q", cfg.Profile)
+	}
+	elapsed := time.Since(start)
+	close(prodDone)
+	consumers.Wait()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-consErr:
+		return nil, err
+	default:
+	}
+
+	st, err := admin.Stats(cfg.Queue)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Profile:     cfg.Profile,
+		Backend:     st.Backend,
+		RateTarget:  0,
+		RateOffered: float64(r.sent.Load()) / elapsed.Seconds(),
+		DurationSec: elapsed.Seconds(),
+		Conns:       cfg.Conns,
+		Consumers:   cfg.Consumers,
+		Sent:        r.sent.Load(),
+		Admitted:    r.admitted.Load(),
+		Confirmed:   r.confirmed.Load(),
+		Expired:     r.expired.Load(),
+		Rejected:    r.rejected.Load(),
+		Errors:      r.errs.Load(),
+		Received:    r.received.Load(),
+		EnqueueRTT:  r.rtt.Snapshot(),
+		QueueDelay:  st.Delay,
+		Server:      st,
+	}
+	if cfg.Profile == "closed" {
+		res.Users = cfg.Users
+	} else {
+		res.RateTarget = cfg.Rate
+	}
+	res.Lost, res.Duplicated = r.audit()
+	return res, nil
+}
+
+// payloadFor builds the wire payload for sequence id: 8-byte BE id, an
+// armed flag, then filler up to the configured size.
+func (r *run) payloadFor(id uint64, armed bool, buf []byte) []byte {
+	buf = buf[:0]
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	if armed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for len(buf) < r.cfg.Payload {
+		buf = append(buf, 'x')
+	}
+	return buf
+}
+
+// sendOne issues one enqueue and records its terminal outcome in the
+// ledger. Conservation hinges on the outcome codes: a nil armed wait is
+// the only path to oConfirm, a deadline error the only path to oExpired.
+func (r *run) sendOne(c *client.Conn, armed bool, buf []byte) []byte {
+	id := r.nextID.Add(1) - 1
+	buf = r.payloadFor(id, armed, buf)
+	r.sent.Add(1)
+	t0 := time.Now()
+	var err error
+	if armed {
+		err = c.EnqueueWait(r.cfg.Queue, buf, r.cfg.Deadline)
+	} else {
+		err = c.Enqueue(r.cfg.Queue, buf, 0)
+	}
+	r.rtt.Observe(time.Since(t0).Nanoseconds())
+	slot := r.led.slot(id)
+	switch {
+	case err == nil:
+		r.admitted.Add(1)
+		if armed {
+			r.confirmed.Add(1)
+			slot.Add(oConfirm)
+		} else {
+			slot.Add(oPlain)
+		}
+	case errors.Is(err, wfq.ErrDeadlineExceeded):
+		// Admitted, then expired by the sweep before any consumer
+		// claimed it. The envelope must never surface downstream.
+		r.admitted.Add(1)
+		r.expired.Add(1)
+		slot.Add(oExpired)
+	case errors.Is(err, wfq.ErrAdmission):
+		r.rejected.Add(1)
+		slot.Add(oRejected)
+	default:
+		r.errs.Add(1)
+		slot.Add(oRejected) // whatever failed must not be delivered
+	}
+	return buf
+}
+
+// closedLoop runs cfg.Users simulated users multiplexed over cfg.Conns
+// connections. Each user loops send → think until the duration elapses;
+// the first ArmedFraction of users arm deadlines and wait end-to-end.
+func (r *run) closedLoop() error {
+	cfg := r.cfg
+	conns := make([]*client.Conn, cfg.Conns)
+	for i := range conns {
+		c, err := client.Dial(cfg.Addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	armedUsers := int(math.Round(float64(cfg.Users) * cfg.ArmedFraction))
+	stop := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			c := conns[u%len(conns)]
+			armed := u < armedUsers
+			var buf []byte
+			for time.Now().Before(stop) {
+				buf = r.sendOne(c, armed, buf)
+				if cfg.Think > 0 {
+					time.Sleep(cfg.Think)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	return nil
+}
+
+// openLoop offers a Poisson arrival process at cfg.Rate (bursty: rate
+// modulated by 4× up / 4× down phases of 100ms) to a pool of cfg.Conns
+// workers. Arrivals that find every worker busy queue in the dispatch
+// channel — offered load does not slow down because the server is slow;
+// that is what makes it an open loop.
+func (r *run) openLoop(bursty bool) error {
+	cfg := r.cfg
+	type job struct{ armed bool }
+	jobs := make(chan job, 4*cfg.Conns)
+
+	var workers sync.WaitGroup
+	werr := make(chan error, cfg.Conns)
+	for i := 0; i < cfg.Conns; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			c, err := client.Dial(cfg.Addr)
+			if err != nil {
+				werr <- err
+				return
+			}
+			defer c.Close()
+			var buf []byte
+			for j := range jobs {
+				buf = r.sendOne(c, j.armed, buf)
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const phase = 100 * time.Millisecond
+	start := time.Now()
+	next := start
+	for {
+		now := time.Now()
+		if now.Sub(start) >= cfg.Duration {
+			break
+		}
+		rate := cfg.Rate
+		if bursty {
+			if (now.Sub(start)/phase)%2 == 0 {
+				rate *= 4
+			} else {
+				rate /= 4
+			}
+		}
+		// Exponential inter-arrival; if we fell behind wall clock we
+		// dispatch immediately (the backlog IS the burst).
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if d := next.Sub(now); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- job{armed: rng.Float64() < cfg.ArmedFraction}
+	}
+	close(jobs)
+	workers.Wait()
+	select {
+	case err := <-werr:
+		return err
+	default:
+		return nil
+	}
+}
+
+// consume drains deliveries, crediting each sequence number in the
+// ledger, until producers are done AND the queue reads empty.
+func (r *run) consume(prodDone <-chan struct{}) error {
+	c, err := client.Dial(r.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for {
+		v, ok, err := c.Dequeue(r.cfg.Queue, 20*time.Millisecond)
+		if err != nil {
+			if errors.Is(err, wfq.ErrClosed) || errors.Is(err, qsvc.ErrNotFound) {
+				return nil
+			}
+			return err
+		}
+		if !ok {
+			select {
+			case <-prodDone:
+				// Producers finished and the bounded wait found nothing:
+				// one final non-blocking probe, then the queue is drained.
+				if v, ok, _ := c.Dequeue(r.cfg.Queue, 0); ok {
+					r.credit(v)
+					continue
+				}
+				return nil
+			default:
+				continue
+			}
+		}
+		r.credit(v)
+	}
+}
+
+func (r *run) credit(payload []byte) {
+	r.received.Add(1)
+	if len(payload) >= 8 {
+		id := binary.BigEndian.Uint64(payload)
+		r.led.slot(id).Add(seenUnit)
+	}
+}
+
+// audit walks the ledger and renders the conservation verdict.
+func (r *run) audit() (lost, duplicated int64) {
+	total := r.nextID.Load()
+	for id := uint64(0); id < total; id++ {
+		w := r.led.slot(id).Load()
+		outcome, seen := w&0xff, w>>8
+		switch outcome {
+		case oPlain, oConfirm:
+			if seen == 0 {
+				lost++
+			} else if seen > 1 {
+				duplicated += seen - 1
+			}
+		case oExpired, oRejected:
+			// Must never surface: an expired request's envelope is a
+			// tombstone; a rejected one never entered the queue.
+			duplicated += seen
+		default:
+			// No outcome recorded means sendOne never completed for this
+			// id — impossible once producers have joined.
+			lost++
+		}
+	}
+	return lost, duplicated
+}

@@ -1,0 +1,144 @@
+package load
+
+// The load generator is itself the conservation checker, so its tests
+// run real traffic against an in-process server and assert the verdict:
+// zero lost, zero duplicated, expired requests all observed a deadline
+// error (they are exactly the Expired count), admission caps enforced.
+
+import (
+	"testing"
+	"time"
+
+	"wfq/internal/qsvc/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	s := server.New(server.Options{SweepInterval: 500 * time.Microsecond})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return addr.String()
+}
+
+func verify(t *testing.T, res *Result) {
+	t.Helper()
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Fatalf("conservation violated: lost=%d duplicated=%d (%+v)", res.Lost, res.Duplicated, res)
+	}
+	if res.Sent == 0 {
+		t.Fatal("run sent nothing")
+	}
+	if res.Sent != res.Admitted+res.Rejected+res.Errors {
+		t.Fatalf("accounting: sent=%d admitted=%d rejected=%d errors=%d",
+			res.Sent, res.Admitted, res.Rejected, res.Errors)
+	}
+	if res.Received != res.Admitted-res.Expired {
+		t.Fatalf("delivery accounting: received=%d admitted=%d expired=%d",
+			res.Received, res.Admitted, res.Expired)
+	}
+}
+
+func TestClosedLoopConservation(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Config{
+		Addr:          addr,
+		Queue:         "closed",
+		Backend:       "ring",
+		Profile:       "closed",
+		Users:         200,
+		Conns:         16,
+		Consumers:     4,
+		Duration:      300 * time.Millisecond,
+		ArmedFraction: 0.25,
+		Deadline:      250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, res)
+	if res.Confirmed == 0 {
+		t.Fatal("no armed request was confirmed delivered")
+	}
+	if res.QueueDelay.Count == 0 {
+		t.Fatal("server reported no queue-delay observations")
+	}
+}
+
+// TestClosedLoopStarvedExpiry: no consumers, so every armed request
+// MUST observe the deadline error — none may be confirmed or surface.
+func TestClosedLoopStarvedExpiry(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Config{
+		Addr:          addr,
+		Queue:         "starved",
+		Profile:       "closed",
+		Users:         64,
+		Conns:         64, // one conn per user: waits don't serialize
+		Consumers:     1,  // a lone drainer that cannot keep up
+		Duration:      150 * time.Millisecond,
+		ArmedFraction: 1.0,
+		Deadline:      2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single consumer only drains what outlived its deadline —
+	// nothing: every armed request expired before it started. It can
+	// race the last few arming windows, so allow confirmed > 0 only if
+	// delivered while still pending; conservation still must hold.
+	verify(t, res)
+	if res.Expired == 0 {
+		t.Fatal("starved run expired nothing — sweep not running?")
+	}
+	if res.Expired+res.Confirmed != res.Admitted {
+		t.Fatalf("armed accounting: expired=%d confirmed=%d admitted=%d",
+			res.Expired, res.Confirmed, res.Admitted)
+	}
+}
+
+func TestPoissonOpenLoop(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Config{
+		Addr:      addr,
+		Queue:     "poisson",
+		Backend:   "core",
+		Profile:   "poisson",
+		Rate:      2000,
+		Conns:     8,
+		Consumers: 4,
+		Duration:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, res)
+	if res.RateOffered < res.RateTarget/4 {
+		t.Fatalf("offered %.0f/s, target %.0f/s — pacer broken", res.RateOffered, res.RateTarget)
+	}
+}
+
+// TestBurstyAdmission: a tight depth cap under bursty overload must
+// reject (typed, counted) and still conserve everything admitted.
+func TestBurstyAdmission(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Config{
+		Addr:      addr,
+		Queue:     "bursty",
+		Profile:   "bursty",
+		Rate:      4000,
+		Conns:     8,
+		Consumers: 1,
+		MaxDepth:  32,
+		Duration:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, res)
+	if res.Server.Depth > 32 {
+		t.Fatalf("depth %d exceeded cap 32", res.Server.Depth)
+	}
+}

@@ -1,0 +1,244 @@
+package qsvc
+
+// Registry lifecycle races. These tests are meaningful under the plain
+// runner and sharpest under -race (scripts/check.sh and CI run this
+// package with the detector): concurrent create/delete/lookup of the
+// SAME name, operations racing deletion, and the choreographed
+// delete-while-consumers-parked case asserting waiters get ErrClosed
+// rather than hanging.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfq"
+)
+
+// TestRegistryChurnRace: many goroutines create, look up, use, and
+// delete one contested name. Invariants: a successful Create saw no
+// live queue; every session operation either succeeds against a live
+// generation or fails with a typed error; generations observed through
+// Get are non-decreasing per observer.
+func TestRegistryChurnRace(t *testing.T) {
+	r := NewRegistry[int64]()
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var creates, deletes atomic.Int64
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch w % 4 {
+				case 0: // creator
+					if _, err := r.Create("hot", Config{Backend: BackendRing}); err == nil {
+						creates.Add(1)
+					} else if !errors.Is(err, ErrExists) {
+						t.Errorf("create: %v", err)
+						return
+					}
+				case 1: // deleter
+					if err := r.Delete("hot"); err == nil {
+						deletes.Add(1)
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				default: // user
+					q, ok := r.Get("hot")
+					if !ok {
+						continue
+					}
+					if g := q.Gen(); g < lastGen {
+						t.Errorf("generation went backwards: %d after %d", g, lastGen)
+						return
+					} else {
+						lastGen = g
+					}
+					s, err := q.Session()
+					if err != nil {
+						continue // namespace exhausted under churn is fine
+					}
+					if _, err := s.Enqueue(1, 0); err != nil && !errors.Is(err, wfq.ErrClosed) && !errors.Is(err, wfq.ErrAdmission) {
+						t.Errorf("enqueue: %v", err)
+						s.Release()
+						return
+					}
+					s.TryDequeue()
+					s.Release()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if creates.Load() == 0 || deletes.Load() == 0 {
+		t.Fatalf("race did not exercise both paths: creates=%d deletes=%d", creates.Load(), deletes.Load())
+	}
+}
+
+// TestDeleteWhileConsumersParked is the choreographed lifecycle case:
+// consumers park in DequeueCtx on an empty queue, Delete arrives, and
+// every waiter must return wfq.ErrClosed — promptly, not by timeout,
+// and without any of them fabricating an element.
+func TestDeleteWhileConsumersParked(t *testing.T) {
+	r := NewRegistry[int64]()
+	q, _ := r.Create("parked", Config{Backend: BackendRing})
+
+	const consumers = 8
+	errs := make(chan error, consumers)
+	var started sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		started.Add(1)
+		go func() {
+			s, err := q.Session()
+			if err != nil {
+				started.Done()
+				errs <- err
+				return
+			}
+			defer s.Release()
+			started.Done()
+			_, err = s.DequeueCtx(context.Background())
+			errs <- err
+		}()
+	}
+	started.Wait()
+	// Give the consumers time to run through their bounded spin and
+	// actually park (the waiter layer parks after DefaultSpin empty
+	// probes; 50ms is orders of magnitude beyond that).
+	time.Sleep(50 * time.Millisecond)
+
+	if err := r.Delete("parked"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for c := 0; c < consumers; c++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, wfq.ErrClosed) {
+				t.Fatalf("parked consumer returned %v, want ErrClosed", err)
+			}
+		case <-deadline:
+			t.Fatalf("consumer %d of %d still parked after delete", c+1, consumers)
+		}
+	}
+}
+
+// TestDeleteRacesArmedTraffic: armed producers, consumers, a sweeping
+// ticker, and a delete all collide; afterwards every request must have
+// completed exactly once with a coherent terminal state.
+func TestDeleteRacesArmedTraffic(t *testing.T) {
+	r := NewRegistry[int64]()
+	q, _ := r.Create("q", Config{})
+
+	var reqs sync.Map // *Req -> struct{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := q.Session()
+			if err != nil {
+				return
+			}
+			defer s.Release()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, err := s.Enqueue(int64(i), time.Duration(1+i%3)*time.Millisecond)
+				if err != nil {
+					if errors.Is(err, wfq.ErrClosed) {
+						return
+					}
+					continue
+				}
+				reqs.Store(req, struct{}{})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := q.Session()
+		if err != nil {
+			return
+		}
+		defer s.Release()
+		ctx := context.Background()
+		for {
+			if _, err := s.DequeueCtx(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Tick(time.Now())
+				time.Sleep(300 * time.Microsecond)
+			}
+		}
+	}()
+
+	time.Sleep(30 * time.Millisecond)
+	if err := r.Delete("q"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every armed request that was admitted must reach a terminal state
+	// (Delete aborts pending ones), with a coherent error.
+	timeout := time.After(10 * time.Second)
+	reqs.Range(func(k, _ any) bool {
+		req := k.(*Req)
+		select {
+		case <-req.Done():
+		case <-timeout:
+			t.Fatal("request left pending after delete")
+			return false
+		}
+		if err := req.Err(); err != nil &&
+			!errors.Is(err, wfq.ErrDeadlineExceeded) && !errors.Is(err, wfq.ErrClosed) {
+			t.Fatalf("incoherent terminal error: %v", err)
+			return false
+		}
+		return true
+	})
+	st := q.Stats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight %d after delete, want 0", st.Inflight)
+	}
+	// Admitted requests terminate as delivered, expired, or aborted by
+	// the delete; the aborted counter additionally includes requests
+	// whose enqueue itself failed (never admitted). Hence the two
+	// inequalities bracket conservation exactly.
+	if st.Delivered+st.Expired > st.Admitted ||
+		st.Delivered+st.Expired+st.Aborted < st.Admitted {
+		t.Fatalf("conservation: %+v", st)
+	}
+}

@@ -1,0 +1,356 @@
+// Package server is the TCP front end of the queue-service layer: it
+// owns a qsvc.Registry of named []byte queues, speaks the wire protocol
+// (internal/qsvc/wire) over plain TCP, and runs the registry's timeout
+// sweep on a ticker. cmd/wfqserve is a thin flag wrapper around it;
+// tests and the load generator embed it in-process.
+//
+// Connection model: synchronous request/response, one outstanding
+// request per connection. Each connection lazily leases one
+// qsvc.Session per queue it touches and re-resolves the name against
+// the registry per request — the generation key makes that re-resolve
+// sound: if the name was deleted and recreated, the cached session's
+// generation no longer matches and the handler replaces it instead of
+// silently operating on the predecessor queue.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfq"
+	"wfq/internal/qsvc"
+	"wfq/internal/qsvc/wire"
+	"wfq/internal/tid"
+)
+
+// Options configures a Server. The zero value serves.
+type Options struct {
+	// MaxThreads is the per-queue session bound applied when a create
+	// request leaves it zero (0 selects qsvc.DefaultMaxThreads). It
+	// bounds concurrent connections operating on one queue.
+	MaxThreads int
+	// SweepInterval is the timeout-sweep tick period (default 1ms).
+	SweepInterval time.Duration
+}
+
+// Server is a running queue service.
+type Server struct {
+	opts Options
+	reg  *qsvc.Registry[[]byte]
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	sweepDone chan struct{}
+	wg        sync.WaitGroup
+	swept     atomic.Int64
+}
+
+// New builds a server around a fresh registry.
+func New(opts Options) *Server {
+	if opts.SweepInterval <= 0 {
+		opts.SweepInterval = time.Millisecond
+	}
+	return &Server{
+		opts:      opts,
+		reg:       qsvc.NewRegistry[[]byte](),
+		conns:     make(map[net.Conn]struct{}),
+		sweepDone: make(chan struct{}),
+	}
+}
+
+// Registry exposes the server's registry (tests, in-process embedding).
+func (s *Server) Registry() *qsvc.Registry[[]byte] { return s.reg }
+
+// Swept reports the total number of requests the sweep ticker has
+// expired since the server started.
+func (s *Server) Swept() int64 { return s.swept.Load() }
+
+// Listen binds addr (host:port; ":0" picks a free port), starts the
+// accept loop and the sweep ticker, and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.sweeper()
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown stops accepting, closes every live connection, and waits
+// for the handlers and the sweeper to exit. Registered queues are left
+// as they are (a process exit follows in practice).
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	close(s.sweepDone)
+	s.wg.Wait()
+}
+
+// sweeper drives the registry's timeout sweep: the Tick of the QMgr
+// shape. Expiry latency is bounded by the interval plus one sweep.
+func (s *Server) sweeper() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepDone:
+			return
+		case now := <-t.C:
+			s.swept.Add(int64(s.reg.Tick(now)))
+		}
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// csess is one connection's lease on one queue, keyed by generation so
+// a deleted-then-recreated name is detected and re-leased.
+type csess struct {
+	q *qsvc.Queue[[]byte]
+	s *qsvc.Session[[]byte]
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	sessions := make(map[string]*csess)
+	defer func() {
+		for _, cs := range sessions {
+			cs.s.Release()
+		}
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	var out []byte
+	for {
+		body, err := wire.ReadFrame(c)
+		if err != nil {
+			return // disconnect or protocol failure: drop the conn
+		}
+		req, err := wire.DecodeRequest(body)
+		var resp wire.Response
+		if err != nil {
+			resp = wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
+		} else {
+			resp = s.serve(sessions, &req)
+		}
+		out = resp.EncodeResponse(out[:0])
+		if err := wire.WriteFrame(c, out); err != nil {
+			return
+		}
+	}
+}
+
+// session resolves the connection's lease on name, re-leasing when the
+// registry's current generation moved past the cached one.
+func (s *Server) session(sessions map[string]*csess, name string) (*csess, byte) {
+	q, ok := s.reg.Get(name)
+	if !ok {
+		if cs, had := sessions[name]; had {
+			cs.s.Release()
+			delete(sessions, name)
+		}
+		return nil, wire.StNotFound
+	}
+	if cs, had := sessions[name]; had {
+		if cs.q.Gen() == q.Gen() {
+			return cs, wire.StOK
+		}
+		cs.s.Release()
+		delete(sessions, name)
+	}
+	sess, err := q.Session()
+	if err != nil {
+		return nil, wire.StErr // session namespace exhausted
+	}
+	cs := &csess{q: q, s: sess}
+	sessions[name] = cs
+	return cs, wire.StOK
+}
+
+// serve executes one decoded request.
+func (s *Server) serve(sessions map[string]*csess, req *wire.Request) wire.Response {
+	switch req.Verb {
+	case wire.VCreate:
+		backend, shards, err := qsvc.ParseBackend(req.Backend)
+		if err != nil {
+			return wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
+		}
+		if req.Shards > 0 {
+			shards = int(req.Shards)
+		}
+		maxThreads := int(req.MaxThreads)
+		if maxThreads == 0 {
+			maxThreads = s.opts.MaxThreads
+		}
+		q, err := s.reg.Create(req.Name, qsvc.Config{
+			Backend:     backend,
+			Shards:      shards,
+			SegSize:     int(req.SegSize),
+			MaxThreads:  maxThreads,
+			MaxDepth:    int(req.MaxDepth),
+			MaxInflight: int(req.MaxInflight),
+		})
+		if errors.Is(err, qsvc.ErrExists) {
+			return wire.Response{Status: wire.StExists}
+		}
+		if err != nil {
+			return wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
+		}
+		return wire.Response{Status: wire.StOK, Aux: q.Gen()}
+
+	case wire.VClose:
+		err := s.reg.Close(req.Name)
+		switch {
+		case errors.Is(err, qsvc.ErrNotFound):
+			return wire.Response{Status: wire.StNotFound}
+		case errors.Is(err, wfq.ErrClosed):
+			return wire.Response{Status: wire.StClosed}
+		}
+		return wire.Response{Status: wire.StOK}
+
+	case wire.VDelete:
+		if errors.Is(s.reg.Delete(req.Name), qsvc.ErrNotFound) {
+			return wire.Response{Status: wire.StNotFound}
+		}
+		return wire.Response{Status: wire.StOK}
+
+	case wire.VEnq:
+		cs, st := s.session(sessions, req.Name)
+		if st != wire.StOK {
+			return wire.Response{Status: st}
+		}
+		// Payload references the read buffer of this frame only until
+		// the next ReadFrame, but enqueue hands it to the queue — copy.
+		payload := append([]byte(nil), req.Payload...)
+		r, err := cs.s.Enqueue(payload, time.Duration(req.DeadlineNs))
+		if err != nil {
+			return errResponse(err)
+		}
+		if req.Flags&wire.FlagWait != 0 && r != nil {
+			// Deferred completion: the sweep or a consumer decides.
+			<-r.Done()
+			if werr := r.Err(); werr != nil {
+				return errResponse(werr)
+			}
+		}
+		return wire.Response{Status: wire.StOK}
+
+	case wire.VDeq:
+		cs, st := s.session(sessions, req.Name)
+		if st != wire.StOK {
+			return wire.Response{Status: st}
+		}
+		if req.WaitNs == 0 {
+			if v, ok := cs.s.TryDequeue(); ok {
+				return wire.Response{Status: wire.StOK, Payload: v}
+			}
+			if cs.q.Closed() {
+				// Distinguish "empty now" from "closed and drained" the
+				// same way the blocking path would.
+				if _, err := cs.s.DequeueCtx(closedProbeCtx()); errors.Is(err, wfq.ErrClosed) {
+					return wire.Response{Status: wire.StClosed}
+				}
+			}
+			return wire.Response{Status: wire.StEmpty}
+		}
+		ctx := context.Background()
+		if req.WaitNs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.WaitNs))
+			defer cancel()
+		}
+		v, err := cs.s.DequeueCtx(ctx)
+		if err != nil {
+			if errors.Is(err, wfq.ErrDeadlineExceeded) {
+				return wire.Response{Status: wire.StEmpty} // wait timed out
+			}
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StOK, Payload: v}
+
+	case wire.VStats:
+		q, ok := s.reg.Get(req.Name)
+		if !ok {
+			return wire.Response{Status: wire.StNotFound}
+		}
+		b, err := json.Marshal(q.Stats())
+		if err != nil {
+			return wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
+		}
+		return wire.Response{Status: wire.StOK, Payload: b}
+	}
+	return wire.Response{Status: wire.StErr, Payload: []byte("unknown verb")}
+}
+
+// closedProbeCtx is an already-expired context: DequeueCtx under it
+// performs its bounded direct probes (which on a closed queue resolve
+// drain-vs-element immediately) without ever parking.
+func closedProbeCtx() context.Context {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	cancel()
+	return ctx
+}
+
+// errResponse maps the typed qsvc/facade errors onto wire statuses.
+func errResponse(err error) wire.Response {
+	switch {
+	case errors.Is(err, wfq.ErrAdmission):
+		return wire.Response{Status: wire.StRejected}
+	case errors.Is(err, wfq.ErrDeadlineExceeded):
+		return wire.Response{Status: wire.StDeadline}
+	case errors.Is(err, wfq.ErrClosed):
+		return wire.Response{Status: wire.StClosed}
+	case errors.Is(err, tid.ErrExhausted):
+		return wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
+	default:
+		return wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
+	}
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRequestRoundtrip pins encode→decode identity for every verb,
+// including boundary-length names and empty payloads.
+func TestRequestRoundtrip(t *testing.T) {
+	cases := []Request{
+		{Verb: VCreate, Name: "orders", Backend: "ring", Shards: 4, SegSize: 1024, MaxThreads: 256, MaxDepth: 1 << 20, MaxInflight: 4096},
+		{Verb: VCreate, Name: strings.Repeat("n", 255), Backend: ""},
+		{Verb: VClose, Name: "orders"},
+		{Verb: VDelete, Name: "orders"},
+		{Verb: VStats, Name: "orders"},
+		{Verb: VEnq, Name: "q", Flags: FlagWait, DeadlineNs: 123456789, Payload: []byte("hello")},
+		{Verb: VEnq, Name: "q", Payload: nil},
+		{Verb: VDeq, Name: "q", WaitNs: -1},
+		{Verb: VDeq, Name: "q", WaitNs: 5e9},
+	}
+	for _, in := range cases {
+		b, err := in.EncodeRequest(nil)
+		if err != nil {
+			t.Fatalf("%+v: encode: %v", in, err)
+		}
+		out, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", in, err)
+		}
+		if out.Verb != in.Verb || out.Name != in.Name || out.Backend != in.Backend ||
+			out.Shards != in.Shards || out.SegSize != in.SegSize ||
+			out.MaxThreads != in.MaxThreads || out.MaxDepth != in.MaxDepth ||
+			out.MaxInflight != in.MaxInflight || out.Flags != in.Flags ||
+			out.DeadlineNs != in.DeadlineNs || out.WaitNs != in.WaitNs ||
+			!bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("roundtrip mismatch:\n in %+v\nout %+v", in, out)
+		}
+	}
+}
+
+// TestResponseRoundtrip covers the response header and payload.
+func TestResponseRoundtrip(t *testing.T) {
+	for _, in := range []Response{
+		{Status: StOK, Aux: 42, Payload: []byte("payload")},
+		{Status: StEmpty},
+		{Status: StErr, Payload: []byte("boom")},
+	} {
+		out, err := DecodeResponse(in.EncodeResponse(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Status != in.Status || out.Aux != in.Aux || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("roundtrip mismatch: in %+v out %+v", in, out)
+		}
+	}
+}
+
+// TestDecodeRejectsGarbage: truncated and malformed frames error
+// instead of panicking or misparsing.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{VEnq},               // no name
+		{VEnq, 5, 'a'},       // name length overruns
+		{VEnq, 1, 'q'},       // missing flags/deadline
+		{VDeq, 1, 'q', 0, 0}, // short wait
+		{VCreate, 1, 'q', 0}, // short config
+		{99, 1, 'q'},         // unknown verb
+	}
+	for _, b := range bad {
+		if _, err := DecodeRequest(b); err == nil {
+			t.Fatalf("DecodeRequest(%v) accepted garbage", b)
+		}
+	}
+	if _, err := DecodeResponse([]byte{StOK}); err == nil {
+		t.Fatal("DecodeResponse accepted short frame")
+	}
+}
+
+// TestFrameRoundtrip exercises the length-prefix framing, including
+// zero-length bodies and the size guard.
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{{}, []byte("x"), bytes.Repeat([]byte("ab"), 1000)}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range bodies {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %q vs %q", got, want)
+		}
+	}
+	// Oversized length prefix must be rejected before allocation.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("ReadFrame accepted oversized length")
+	}
+}

@@ -13,6 +13,15 @@ go test -race ./internal/core/ ./internal/hazard/ ./internal/sharded/ ./internal
 # conservation test (root package).
 go test -race ./internal/waiter/
 go test -race -run 'TestEnqueueNotifyRacesChainSwing|TestCloseDrainConcurrent|TestHandleGenerationRegression' .
+# Queue-service layer under the race detector: registry lifecycle churn
+# (concurrent create/delete/lookup of one name), delete-while-parked,
+# the sweep-vs-delivery conservation CAS, and the wire/server/load
+# stack end to end over real sockets.
+go test -race ./internal/qsvc/ ./internal/qsvc/wire/ ./internal/qsvc/server/ ./internal/qsvc/load/
+# Serve smoke: a real wfqserve process driven by wfqload over TCP —
+# zero lost or duplicated envelopes or the generator exits nonzero —
+# plus the server-backed pipeline example.
+sh scripts/serve_smoke.sh
 # Fuzz smoke: short randomized differentials against the sequential
 # specification — the sharded frontend, and the core batch operations
 # (regression corpora run in `go test` above; these probe fresh inputs).
