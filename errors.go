@@ -52,9 +52,11 @@ func (deadlineError) Unwrap() error   { return context.DeadlineExceeded }
 // the typed facade surface: a deadline expiry becomes
 // ErrDeadlineExceeded (still errors.Is-compatible with the context
 // sentinel via Unwrap); every other error — context.Canceled,
-// ErrClosed, ErrReleased — passes through untouched.
+// ErrClosed, ErrReleased — passes through untouched. errors.Is (not
+// ==) so a custom context whose Err() wraps the sentinel is still
+// classified as a timeout.
 func wrapCtxErr(err error) error {
-	if err == context.DeadlineExceeded {
+	if errors.Is(err, context.DeadlineExceeded) {
 		return ErrDeadlineExceeded
 	}
 	return err

@@ -99,6 +99,41 @@ func TestDequeueCtxHPDeadlineTyped(t *testing.T) {
 	}
 }
 
+// wrappedDeadlineCtx is a custom context.Context whose Err() returns a
+// WRAPPED deadline error rather than the bare sentinel — allowed by the
+// context contract, and what a deadline-decorating middleware context
+// produces. The facade must classify it with errors.Is, not ==.
+type wrappedDeadlineCtx struct{ done chan struct{} }
+
+func (c wrappedDeadlineCtx) Deadline() (time.Time, bool) { return time.Unix(0, 0), true }
+func (c wrappedDeadlineCtx) Done() <-chan struct{}       { return c.done }
+func (c wrappedDeadlineCtx) Err() error {
+	return fmt.Errorf("middleware deadline: %w", context.DeadlineExceeded)
+}
+func (c wrappedDeadlineCtx) Value(any) any { return nil }
+
+// TestWrapCtxErrWrappedDeadline: a context whose Err() wraps
+// context.DeadlineExceeded must still be translated to the typed
+// facade error, both at the wrapCtxErr unit level and end-to-end
+// through DequeueCtx.
+func TestWrapCtxErrWrappedDeadline(t *testing.T) {
+	wrapped := fmt.Errorf("middleware deadline: %w", context.DeadlineExceeded)
+	if err := wrapCtxErr(wrapped); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("wrapCtxErr(%v) = %v, want ErrDeadlineExceeded classification", wrapped, err)
+	}
+	// Cancellation must still pass through untouched.
+	if err := wrapCtxErr(context.Canceled); !errors.Is(err, context.Canceled) || errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("wrapCtxErr(Canceled) = %v", err)
+	}
+
+	done := make(chan struct{})
+	close(done)
+	q := New[int](2)
+	if _, err := q.DequeueCtx(wrappedDeadlineCtx{done: done}, 0); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("DequeueCtx under a wrapping context: got %v, want wfq.ErrDeadlineExceeded", err)
+	}
+}
+
 // TestAdmissionErrorTyped pins the admission sentinel's identity and
 // wrapping behaviour (the queue-service layer is its producer; the
 // sentinel itself lives here so clients need only the facade).

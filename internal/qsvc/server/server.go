@@ -48,6 +48,12 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// ctx is the server's base context; Shutdown cancels it to unpark
+	// handlers blocked in a dequeue wait or an enqueue-and-wait, which
+	// closing their TCP conn alone does not interrupt.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	sweepDone chan struct{}
 	wg        sync.WaitGroup
 	swept     atomic.Int64
@@ -58,10 +64,13 @@ func New(opts Options) *Server {
 	if opts.SweepInterval <= 0 {
 		opts.SweepInterval = time.Millisecond
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		opts:      opts,
 		reg:       qsvc.NewRegistry[[]byte](),
 		conns:     make(map[net.Conn]struct{}),
+		ctx:       ctx,
+		cancel:    cancel,
 		sweepDone: make(chan struct{}),
 	}
 }
@@ -90,9 +99,11 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Shutdown stops accepting, closes every live connection, and waits
-// for the handlers and the sweeper to exit. Registered queues are left
-// as they are (a process exit follows in practice).
+// Shutdown stops accepting, closes every live connection, cancels the
+// base context so handlers parked in a blocking dequeue or an
+// enqueue-and-wait unblock, and waits for the handlers and the sweeper
+// to exit. Registered queues are left as they are (a process exit
+// follows in practice).
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -108,6 +119,7 @@ func (s *Server) Shutdown() {
 	if ln != nil {
 		ln.Close()
 	}
+	s.cancel()
 	close(s.sweepDone)
 	s.wg.Wait()
 }
@@ -189,30 +201,34 @@ func (s *Server) handle(c net.Conn) {
 }
 
 // session resolves the connection's lease on name, re-leasing when the
-// registry's current generation moved past the cached one.
-func (s *Server) session(sessions map[string]*csess, name string) (*csess, byte) {
+// registry's current generation moved past the cached one. On failure
+// cs is nil and the returned Response is ready to send — it carries the
+// error detail (e.g. tid exhaustion) rather than a bare status.
+func (s *Server) session(sessions map[string]*csess, name string) (cs *csess, errResp wire.Response) {
 	q, ok := s.reg.Get(name)
 	if !ok {
 		if cs, had := sessions[name]; had {
 			cs.s.Release()
 			delete(sessions, name)
 		}
-		return nil, wire.StNotFound
+		return nil, wire.Response{Status: wire.StNotFound}
 	}
 	if cs, had := sessions[name]; had {
 		if cs.q.Gen() == q.Gen() {
-			return cs, wire.StOK
+			return cs, wire.Response{}
 		}
 		cs.s.Release()
 		delete(sessions, name)
 	}
 	sess, err := q.Session()
 	if err != nil {
-		return nil, wire.StErr // session namespace exhausted
+		// Session namespace exhausted (tid.ErrExhausted): surface the
+		// message so clients can tell it apart from other StErr cases.
+		return nil, wire.Response{Status: wire.StErr, Payload: []byte(err.Error())}
 	}
-	cs := &csess{q: q, s: sess}
+	cs = &csess{q: q, s: sess}
 	sessions[name] = cs
-	return cs, wire.StOK
+	return cs, wire.Response{}
 }
 
 // serve executes one decoded request.
@@ -263,9 +279,17 @@ func (s *Server) serve(sessions map[string]*csess, req *wire.Request) wire.Respo
 		return wire.Response{Status: wire.StOK}
 
 	case wire.VEnq:
-		cs, st := s.session(sessions, req.Name)
-		if st != wire.StOK {
-			return wire.Response{Status: st}
+		if req.Flags&wire.FlagWait != 0 && req.DeadlineNs <= 0 {
+			// FlagWait's response means "delivered or expired"; without
+			// a deadline nothing would ever complete the wait. The Go
+			// client enforces this client-side — reject it for every
+			// other wire client rather than silently degrading to
+			// fire-and-forget with a success status.
+			return wire.Response{Status: wire.StErr, Payload: []byte("wait requires a deadline")}
+		}
+		cs, errResp := s.session(sessions, req.Name)
+		if cs == nil {
+			return errResp
 		}
 		// Payload references the read buffer of this frame only until
 		// the next ReadFrame, but enqueue hands it to the queue — copy.
@@ -276,17 +300,23 @@ func (s *Server) serve(sessions map[string]*csess, req *wire.Request) wire.Respo
 		}
 		if req.Flags&wire.FlagWait != 0 && r != nil {
 			// Deferred completion: the sweep or a consumer decides.
-			<-r.Done()
-			if werr := r.Err(); werr != nil {
-				return errResponse(werr)
+			// Shutdown also unparks us — the request stays armed for
+			// the registry to resolve, but this handler must exit.
+			select {
+			case <-r.Done():
+				if werr := r.Err(); werr != nil {
+					return errResponse(werr)
+				}
+			case <-s.ctx.Done():
+				return wire.Response{Status: wire.StErr, Payload: []byte("server shutting down")}
 			}
 		}
 		return wire.Response{Status: wire.StOK}
 
 	case wire.VDeq:
-		cs, st := s.session(sessions, req.Name)
-		if st != wire.StOK {
-			return wire.Response{Status: st}
+		cs, errResp := s.session(sessions, req.Name)
+		if cs == nil {
+			return errResp
 		}
 		if req.WaitNs == 0 {
 			if v, ok := cs.s.TryDequeue(); ok {
@@ -294,14 +324,25 @@ func (s *Server) serve(sessions map[string]*csess, req *wire.Request) wire.Respo
 			}
 			if cs.q.Closed() {
 				// Distinguish "empty now" from "closed and drained" the
-				// same way the blocking path would.
-				if _, err := cs.s.DequeueCtx(closedProbeCtx()); errors.Is(err, wfq.ErrClosed) {
+				// same way the blocking path would. The probe can itself
+				// dequeue: DequeueCtx returns an available element even
+				// under an expired ctx, and an in-flight enqueue racing
+				// Close may land between the empty TryDequeue above and
+				// this probe — that element MUST be delivered, not
+				// dropped (conservation).
+				v, err := cs.s.DequeueCtx(closedProbeCtx())
+				switch {
+				case err == nil:
+					return wire.Response{Status: wire.StOK, Payload: v}
+				case errors.Is(err, wfq.ErrClosed):
 					return wire.Response{Status: wire.StClosed}
 				}
 			}
 			return wire.Response{Status: wire.StEmpty}
 		}
-		ctx := context.Background()
+		// Derive from the server context so Shutdown unparks a handler
+		// blocked here even though its TCP conn is already closed.
+		ctx := s.ctx
 		if req.WaitNs > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.WaitNs))

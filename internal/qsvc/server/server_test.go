@@ -9,6 +9,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"wfq"
 	"wfq/internal/qsvc"
 	"wfq/internal/qsvc/client"
+	"wfq/internal/qsvc/wire"
 )
 
 // startServer runs a server on an ephemeral port and returns a
@@ -299,6 +302,192 @@ func TestServerCloseAndDelete(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("parked consumer hung through delete")
+	}
+}
+
+// TestServerShutdownUnparksWaiters: Shutdown must complete while
+// handlers are parked in an unbounded blocking dequeue and in an
+// enqueue-and-wait whose deadline is far away — closing their TCP conns
+// does not interrupt either wait, so the server's base context has to.
+func TestServerShutdownUnparksWaiters(t *testing.T) {
+	s := New(Options{SweepInterval: time.Millisecond})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Create("q", client.CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park an unbounded dequeue and an enqueue-and-wait (deadline far
+	// enough out that the sweeper cannot be what unparks it), each on
+	// its own connection.
+	cDeq, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cDeq.Close()
+	cEnq, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cEnq.Close()
+	go func() { _, _, _ = cDeq.Dequeue("q", -1) }()
+	go func() { _ = cEnq.EnqueueWait("q", []byte("v"), time.Hour) }()
+	time.Sleep(30 * time.Millisecond) // let both park server-side
+
+	done := make(chan struct{})
+	go func() { s.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown hung on parked handlers")
+	}
+}
+
+// TestServerWaitWithoutDeadlineRejected: a raw VEnq frame with FlagWait
+// but no deadline (the Go client refuses to send one, so craft it by
+// hand) must be rejected outright — not silently degraded to a
+// fire-and-forget enqueue with a success status.
+func TestServerWaitWithoutDeadlineRejected(t *testing.T) {
+	s, c := startServer(t)
+	if _, err := c.Create("q", client.CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Dial("tcp", s.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	req := wire.Request{Verb: wire.VEnq, Name: "q", Flags: wire.FlagWait, Payload: []byte("x")}
+	body, err := req.EncodeRequest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(raw, body); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StErr || !strings.Contains(string(resp.Payload), "deadline") {
+		t.Fatalf("FlagWait without deadline: status=%d payload=%q, want StErr mentioning the deadline", resp.Status, resp.Payload)
+	}
+	// The rejection must happen before admission: nothing enqueued.
+	st, err := c.Stats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 0 || st.Depth != 0 {
+		t.Fatalf("rejected wait-enqueue was admitted anyway: %+v", st)
+	}
+}
+
+// TestServerSessionExhaustionDetail: when a queue's session namespace is
+// exhausted, the wire error must carry the tid detail so clients can
+// tell it apart from other StErr failures.
+func TestServerSessionExhaustionDetail(t *testing.T) {
+	s, c := startServer(t)
+	if _, err := c.Create("tiny", client.CreateOptions{MaxThreads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// First connection takes the only session...
+	if err := c.Enqueue("tiny", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// ...so a second connection cannot lease one.
+	c2, err := client.Dial(s.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	err = c2.Enqueue("tiny", []byte("y"), 0)
+	if err == nil {
+		t.Fatal("second session on MaxThreads=1 queue unexpectedly succeeded")
+	}
+	if !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("exhaustion error lost its detail across the wire: %v", err)
+	}
+}
+
+// TestServerCloseRaceConservation: an enqueue racing Close can publish
+// its element after a consumer's empty TryDequeue but before the
+// consumer's closed-state probe; the probe dequeues it (an available
+// element wins over an expired ctx) and must DELIVER it, not drop it.
+// Every accepted enqueue is dequeued exactly once.
+func TestServerCloseRaceConservation(t *testing.T) {
+	s, c := startServer(t)
+	prod, err := client.Dial(s.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	cons, err := client.Dial(s.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	const iters = 25
+	for iter := 0; iter < iters; iter++ {
+		name := fmt.Sprintf("race-%d", iter)
+		if _, err := c.Create(name, client.CreateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		accepted := make(chan int, 1)
+		go func() {
+			n := 0
+			for i := 0; i < 200; i++ {
+				err := prod.Enqueue(name, []byte{byte(i)}, 0)
+				if errors.Is(err, wfq.ErrClosed) {
+					break
+				}
+				if err != nil {
+					t.Errorf("enqueue: %v", err)
+					break
+				}
+				n++
+			}
+			accepted <- n
+		}()
+		go func() {
+			time.Sleep(time.Duration(iter%5) * 100 * time.Microsecond)
+			if err := c.CloseQueue(name); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		got := 0
+		for {
+			// Non-blocking dequeues so every empty observation takes the
+			// TryDequeue-then-probe path under review.
+			_, ok, err := cons.Dequeue(name, 0)
+			if errors.Is(err, wfq.ErrClosed) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("dequeue: %v", err)
+			}
+			if ok {
+				got++
+			}
+		}
+		want := <-accepted
+		if got != want {
+			t.Fatalf("iter %d: accepted %d enqueues but dequeued %d — conservation violated", iter, want, got)
+		}
+		if err := c.Delete(name); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
