@@ -1,7 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate every change
 # must pass (see README.md).
 
-.PHONY: check test bench bench-ring bench-qsvc serve-smoke figures
+.PHONY: check test bench bench-ring bench-qsvc serve-smoke figures campaign gate
 
 check:
 	sh scripts/check.sh
@@ -35,6 +35,25 @@ bench-ring:
 	go run ./cmd/wfqbench -algs 'fast WF,fast WF (arena),ring WF' \
 		-workload batchpairs -batch 1,8 -threads 1,2,4,8 -iters 50000 -repeats 5 \
 		-jsonsummary results/BENCH_ring_batch.json
+
+# Scaling observatory: the full benchmark campaign matrix
+# (threads × GOMAXPROCS × variants × workloads), regenerating the
+# committed results/BENCH_campaign_*.json snapshots and CAMPAIGN_*.svg
+# scaling charts. Run on the quietest host available; cells with
+# threads > GOMAXPROCS are stamped oversubscribed and warned about.
+campaign:
+	go run ./cmd/wfqcampaign -iters 100000 -repeats 5 -out results
+
+# Live perf regression gate: re-measures every committed baseline cell
+# against the current tree and fails on any confirmed regression beyond
+# GATE_TOLERANCE. The default 0.5 is calibrated to the cross-campaign
+# variance of the committed baseline's host (1 CPU, GOMAXPROCS
+# oversubscribed — see EXPERIMENTS.md); on a quiet many-core host use
+# GATE_TOLERANCE=0.25. The deterministic offline gate (schema +
+# injected-regression checks) runs in scripts/check.sh.
+GATE_TOLERANCE ?= 0.5
+gate:
+	go run ./cmd/wfqcampaign -gate -baseline results -tolerance $(GATE_TOLERANCE)
 
 figures:
 	go run ./cmd/wfqpaper

@@ -49,6 +49,9 @@ import (
 // benchEnv stamps a snapshot with the machine and build that produced
 // it, so committed results are comparable across hosts and revisions.
 type benchEnv struct {
+	// GOMAXPROCS is the process-level value at startup. Each benchPoint
+	// additionally stamps the effective value it ran under, which is the
+	// authoritative one when a profile (or campaign) overrides it per cell.
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	GoVersion  string `json:"go_version"`
@@ -100,15 +103,27 @@ type summaryDoc struct {
 }
 
 type benchPoint struct {
-	Threads int     `json:"threads"`
-	SecMean float64 `json:"sec_mean"`
-	SecStd  float64 `json:"sec_std"`
+	Threads int `json:"threads"`
+	// GOMAXPROCS is the effective scheduler width this point ran under,
+	// captured inside the measured run (NOT the process-level value in
+	// env: a campaign varying GOMAXPROCS per cell would misstamp every
+	// cell after the first override if it reused the startup capture).
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	SecMean    float64 `json:"sec_mean"`
+	SecStd     float64 `json:"sec_std"`
 	// SecMin and SecMedian are robust alternatives to the mean: GC pauses
 	// and scheduler noise only ever slow a repeat down, so the minimum is
 	// the cleanest estimate of the algorithm's cost on a shared host.
 	SecMin    float64 `json:"sec_min"`
 	SecMedian float64 `json:"sec_median"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	// OpsPerSec is derived from the MEAN repeat time and kept for
+	// compatibility with pre-campaign snapshots; OpsPerSecMedian and
+	// OpsPerSecMin follow the repo's min/median comparison convention
+	// (EXPERIMENTS.md) and are what the perf gate keys off — the mean is
+	// noise-sensitive in exactly the direction that fakes regressions.
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	OpsPerSecMedian float64 `json:"ops_per_sec_median"`
+	OpsPerSecMin    float64 `json:"ops_per_sec_min"`
 	// AllocsPerOp and BytesPerOp are heap-allocation rates over the
 	// measured window (mean across repeats) — the arena/descriptor-cache
 	// regression numbers.
@@ -160,12 +175,16 @@ func buildDocs(pts []harness.SweepPoint, w harness.Workload, profile string, ite
 			docs[pt.Algorithm] = d
 			order = append(order, d)
 		}
-		ops := float64(pt.OpsPerIter*pt.Iters*pt.Threads) / pt.Summary.Mean
+		totalOps := float64(pt.OpsPerIter * pt.Iters * pt.Threads)
 		d.Points = append(d.Points, benchPoint{
-			Threads: pt.Threads, SecMean: pt.Summary.Mean,
-			SecStd: pt.Summary.Std, SecMin: pt.Summary.Min,
-			SecMedian: pt.Summary.Median, OpsPerSec: ops,
-			AllocsPerOp: pt.AllocsPerOp, BytesPerOp: pt.BytesPerOp,
+			Threads: pt.Threads, GOMAXPROCS: pt.GOMAXPROCS,
+			SecMean: pt.Summary.Mean,
+			SecStd:  pt.Summary.Std, SecMin: pt.Summary.Min,
+			SecMedian:       pt.Summary.Median,
+			OpsPerSec:       totalOps / pt.Summary.Mean,
+			OpsPerSecMedian: totalOps / pt.Summary.Median,
+			OpsPerSecMin:    totalOps / pt.Summary.Min,
+			AllocsPerOp:     pt.AllocsPerOp, BytesPerOp: pt.BytesPerOp,
 			CacheHits: pt.Metrics.DescCacheHits, CacheMisses: pt.Metrics.DescCacheMisses,
 			FastHits: pt.Metrics.FastHits(), FastFallbacks: pt.Metrics.FastFallbacks,
 			BatchEnqs: pt.Metrics.BatchEnqs, BatchEnqElems: pt.Metrics.BatchEnqElems,
@@ -341,6 +360,7 @@ func main() {
 		}
 		pts = append(pts, run...)
 	}
+	warnOversubscribed(pts)
 	title := fmt.Sprintf("%s, %s profile, %d iters/thread, avg of %d",
 		w, prof.Name, *iters, *repeats)
 	tab := report.NewTable(title, "threads", "sec", names)
@@ -377,6 +397,32 @@ func main() {
 			}
 		}
 	}
+}
+
+// warnOversubscribed prints a loud stderr warning for sweep cells that
+// ran more worker threads than schedulable processors — the exact
+// configuration that made earlier sharded results "parity, not speedup"
+// on a one-CPU host. The points are still written (stamped with their
+// effective GOMAXPROCS) so the condition stays visible in the data, but
+// thread-scaling conclusions must not be drawn from them.
+func warnOversubscribed(pts []harness.SweepPoint) {
+	n := 0
+	var worst harness.SweepPoint
+	for _, pt := range pts {
+		if pt.Threads > pt.GOMAXPROCS {
+			if n == 0 || pt.Threads-pt.GOMAXPROCS > worst.Threads-worst.GOMAXPROCS {
+				worst = pt
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"wfqbench: WARNING: %d of %d cells ran with threads > GOMAXPROCS (worst: %q @%d threads on GOMAXPROCS=%d)\n"+
+			"wfqbench: WARNING: such cells measure scheduler multiplexing, not parallelism; scaling claims need GOMAXPROCS >= threads\n",
+		n, len(pts), worst.Algorithm, worst.Threads, worst.GOMAXPROCS)
 }
 
 func fatal(err error) {

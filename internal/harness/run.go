@@ -134,6 +134,12 @@ type Result struct {
 	// and descriptor-cache options exist to shrink.
 	AllocsPerOp float64
 	BytesPerOp  float64
+	// GOMAXPROCS is the effective runtime.GOMAXPROCS DURING the measured
+	// window — read after the profile applied its override, so a sweep
+	// that varies GOMAXPROCS per cell stamps each cell with the value it
+	// actually ran under (a process-level capture would misstamp every
+	// cell after the first override).
+	GOMAXPROCS int
 	// Metrics is the summed core event-counter snapshot, zero-valued
 	// when the algorithm was not built with core.WithMetrics (all the
 	// HP variants, and the baselines).
@@ -161,6 +167,7 @@ func RunMeasured(alg Algorithm, cfg Config) (Result, error) {
 
 	restore := cfg.Profile.apply()
 	defer restore()
+	effProcs := runtime.GOMAXPROCS(0)
 
 	var start, done sync.WaitGroup
 	gate := make(chan struct{})
@@ -256,7 +263,7 @@ func RunMeasured(alg Algorithm, cfg Config) (Result, error) {
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 
-	res := Result{Elapsed: elapsed}
+	res := Result{Elapsed: elapsed, GOMAXPROCS: effProcs}
 	totalOps := float64(cfg.Threads) * float64(cfg.Iters) * float64(cfg.OpsPerIter())
 	res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / totalOps
 	res.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / totalOps
@@ -301,6 +308,7 @@ func RepeatMeasured(alg Algorithm, cfg Config, times int) (stats.Summary, Result
 		agg.AllocsPerOp += res.AllocsPerOp / float64(times)
 		agg.BytesPerOp += res.BytesPerOp / float64(times)
 		agg.Metrics = res.Metrics
+		agg.GOMAXPROCS = res.GOMAXPROCS
 	}
 	return stats.SummarizeDurations(ds), agg, nil
 }
@@ -321,6 +329,11 @@ type SweepPoint struct {
 	AllocsPerOp float64
 	BytesPerOp  float64
 	Metrics     core.Snapshot
+	// GOMAXPROCS is the effective scheduler width the cell ran under
+	// (after any profile override) — see Result.GOMAXPROCS. Cells with
+	// Threads > GOMAXPROCS measure scheduler multiplexing, not
+	// parallelism, and drivers warn on them.
+	GOMAXPROCS int
 }
 
 // Sweep measures every algorithm at every thread count — one panel of a
@@ -339,7 +352,7 @@ func Sweep(algs []Algorithm, threadCounts []int, base Config, repeats int) ([]Sw
 				Algorithm: alg.Name, Threads: n, Summary: s,
 				Iters: cfg.Iters, OpsPerIter: cfg.OpsPerIter(),
 				AllocsPerOp: r.AllocsPerOp, BytesPerOp: r.BytesPerOp,
-				Metrics: r.Metrics,
+				Metrics: r.Metrics, GOMAXPROCS: r.GOMAXPROCS,
 			})
 		}
 	}

@@ -1,0 +1,256 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVGSeries is one line of an SVG chart: parallel X/Y samples in plot
+// order. Points with non-finite coordinates are skipped individually, so
+// a series may render with gaps rather than poisoning the whole chart.
+type SVGSeries struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// SVGOptions configures LineChartSVG. The zero value renders a 720×440
+// chart with linear axes and %.4g y labels.
+type SVGOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the outer SVG dimensions in px (defaults
+	// 720×440).
+	Width  int
+	Height int
+	// Log2X positions x values on a log₂ axis — the natural spacing for
+	// thread-count and GOMAXPROCS sweeps over {1,2,4,8,...}. Ignored
+	// (falls back to linear) if any plotted x is ≤ 0.
+	Log2X bool
+	// YFormat renders y-axis tick labels; nil means %.4g with large
+	// values abbreviated (12.5M, 3.2k).
+	YFormat func(float64) string
+}
+
+// svgPalette is a colorblind-reasonable 8-color cycle.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// LineChartSVG renders a self-contained SVG line chart — inline styling
+// only, system monospace font, no scripts, no external references — so
+// the committed scaling curves display anywhere a bare .svg file does.
+func LineChartSVG(o SVGOptions, series ...SVGSeries) string {
+	if o.Width <= 0 {
+		o.Width = 720
+	}
+	if o.Height <= 0 {
+		o.Height = 440
+	}
+	if o.YFormat == nil {
+		o.YFormat = FormatSI
+	}
+
+	// Plot rectangle inside the outer dimensions.
+	left, right, top, bottom := 78.0, 18.0, 46.0, 58.0
+	pw := float64(o.Width) - left - right
+	ph := float64(o.Height) - top - bottom
+
+	// Data ranges. The y axis always starts at 0: these are rate and
+	// per-op charts, and a non-zero baseline exaggerates noise.
+	var xs []float64
+	ymax := 0.0
+	log2OK := o.Log2X
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			xs = append(xs, s.X[i])
+			if s.X[i] <= 0 {
+				log2OK = false
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	xticks := distinctSorted(xs)
+	if len(xticks) == 0 {
+		xticks = []float64{0, 1}
+	}
+	if xticks[0] <= 0 {
+		log2OK = false
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	yticks := niceTicks(ymax, 5)
+	ymax = yticks[len(yticks)-1]
+
+	xpos := func(x float64) float64 {
+		lo, hi := xticks[0], xticks[len(xticks)-1]
+		if log2OK {
+			lo, hi, x = math.Log2(lo), math.Log2(hi), math.Log2(x)
+		}
+		if hi == lo {
+			return left + pw/2
+		}
+		return left + (x-lo)/(hi-lo)*pw
+	}
+	ypos := func(y float64) float64 {
+		return top + ph - y/ymax*ph
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="ui-monospace,Menlo,Consolas,monospace">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", o.Width, o.Height)
+	if o.Title != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="24" font-size="15" fill="#222222" text-anchor="middle">%s</text>`+"\n",
+			f(float64(o.Width)/2), esc(o.Title))
+	}
+
+	// Horizontal grid + y tick labels.
+	for _, yt := range yticks {
+		y := ypos(yt)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			f(left), f(y), f(left+pw), f(y))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="11" fill="#444444" text-anchor="end">%s</text>`+"\n",
+			f(left-8), f(y+4), esc(o.YFormat(yt)))
+	}
+	// X ticks.
+	for _, xt := range xticks {
+		x := xpos(xt)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#bbbbbb" stroke-width="1"/>`+"\n",
+			f(x), f(top+ph), f(x), f(top+ph+5))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="11" fill="#444444" text-anchor="middle">%s</text>`+"\n",
+			f(x), f(top+ph+19), esc(fmt.Sprintf("%g", xt)))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#222222" stroke-width="1"/>`+"\n",
+		f(left), f(top), f(left), f(top+ph))
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#222222" stroke-width="1"/>`+"\n",
+		f(left), f(top+ph), f(left+pw), f(top+ph))
+	if o.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="12" fill="#222222" text-anchor="middle">%s</text>`+"\n",
+			f(left+pw/2), f(top+ph+40), esc(o.XLabel))
+	}
+	if o.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%s" font-size="12" fill="#222222" text-anchor="middle" transform="rotate(-90 16 %s)">%s</text>`+"\n",
+			f(top+ph/2), f(top+ph/2), esc(o.YLabel))
+	}
+
+	// Series lines, markers, legend.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, f(xpos(s.X[i]))+","+f(ypos(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			xy := strings.SplitN(p, ",", 2)
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend swatches stack down the top-left inside the plot, where
+		// throughput curves rarely start.
+		ly := top + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="3"/>`+"\n",
+			f(left+10), f(ly-4), f(left+30), f(ly-4), color)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="11" fill="#222222">%s</text>`+"\n",
+			f(left+36), f(ly), esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// FormatSI abbreviates a value with metric suffixes (12.5M, 3.2k) — the
+// default y-axis label formatter, sized for ops/sec magnitudes.
+func FormatSI(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return trimZeros(fmt.Sprintf("%.1f", v/1e9)) + "G"
+	case av >= 1e6:
+		return trimZeros(fmt.Sprintf("%.1f", v/1e6)) + "M"
+	case av >= 1e3:
+		return trimZeros(fmt.Sprintf("%.1f", v/1e3)) + "k"
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func trimZeros(s string) string {
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// f formats an SVG coordinate compactly and deterministically.
+func f(v float64) string {
+	return trimZeros(fmt.Sprintf("%.2f", v))
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func esc(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;").Replace(s)
+}
+
+// distinctSorted returns the sorted distinct values of xs.
+func distinctSorted(xs []float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// niceTicks returns ~n ascending ticks from 0 to a rounded-up bound
+// covering max, stepping by 1/2/5×10^k.
+func niceTicks(max float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	raw := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch norm := raw / mag; {
+	case norm <= 1:
+		step = mag
+	case norm <= 2:
+		step = 2 * mag
+	case norm <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := 0.0; ; v += step {
+		out = append(out, v)
+		if v >= max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// wellFormed fails the test unless s parses as XML end to end.
+func wellFormed(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	svg := LineChartSVG(SVGOptions{
+		Title: "ops/sec vs threads <pairs>", XLabel: "threads", YLabel: "ops/sec", Log2X: true,
+	},
+		SVGSeries{Name: "fast WF", X: []float64{1, 2, 4, 8}, Y: []float64{24e6, 23e6, 22e6, 23e6}},
+		SVGSeries{Name: "ring WF", X: []float64{1, 2, 4, 8}, Y: []float64{50e6, 48e6, 47e6, 49e6}},
+	)
+	wellFormed(t, svg)
+	if !strings.HasPrefix(svg, "<svg ") {
+		t.Fatalf("missing <svg prefix: %.60q", svg)
+	}
+	if got := strings.Count(svg, "<polyline "); got != 2 {
+		t.Fatalf("want 2 polylines, got %d", got)
+	}
+	if got := strings.Count(svg, "<circle "); got != 8 {
+		t.Fatalf("want 8 markers, got %d", got)
+	}
+	for _, want := range []string{"fast WF", "ring WF", "threads", "ops/sec", "&lt;pairs&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Self-contained: no external references or scripts.
+	for _, banned := range []string{"http://", "https://", "<script", "url("} {
+		if strings.Contains(strings.ReplaceAll(svg, "http://www.w3.org/2000/svg", ""), banned) {
+			t.Errorf("SVG contains external reference %q", banned)
+		}
+	}
+}
+
+func TestLineChartSVGDegenerate(t *testing.T) {
+	// Empty, single-point, NaN-poisoned and zero-valued inputs must all
+	// render well-formed documents rather than emitting NaN coordinates.
+	cases := []SVGSeries{
+		{},
+		{Name: "one", X: []float64{4}, Y: []float64{10}},
+		{Name: "nan", X: []float64{1, 2}, Y: []float64{math.NaN(), 5}},
+		{Name: "zero", X: []float64{1, 2}, Y: []float64{0, 0}},
+	}
+	for _, s := range cases {
+		svg := LineChartSVG(SVGOptions{Log2X: true}, s)
+		wellFormed(t, svg)
+		if strings.Contains(svg, "NaN") {
+			t.Fatalf("series %q: NaN leaked into coordinates", s.Name)
+		}
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(23.7e6, 5)
+	if ticks[0] != 0 {
+		t.Fatalf("ticks must start at 0, got %v", ticks[0])
+	}
+	if last := ticks[len(ticks)-1]; last < 23.7e6 {
+		t.Fatalf("ticks must cover max: %v < 23.7e6", last)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not ascending: %v", ticks)
+		}
+	}
+}

@@ -54,3 +54,19 @@ go test -run='^$' -bench BenchmarkStepSeries -benchtime=1x ./internal/chaos/
 # pass tests — a one-point comparison against fast WF catches gross
 # perf regressions (committed numbers live in results/BENCH_ring.json).
 go run ./cmd/wfqbench -algs 'fast WF,ring WF' -workload pairs -threads 1 -iters 5000 -repeats 1
+# Scaling observatory: campaign smoke + perf regression gate.
+# 1. A tiny live matrix exercises the runner, per-cell GOMAXPROCS
+#    stamping, snapshot and SVG chart paths end to end.
+# 2. The gate must PASS on the committed baseline (loads every
+#    results/BENCH_campaign_*.json, matches all cells, zero regressions
+#    — this is also the schema-stays-parseable check).
+# 3. The gate must FAIL (nonzero, naming the offending cells) on an
+#    injected 40% regression — a perf gate that cannot fail is not a
+#    gate. Offline comparisons are deterministic, so neither step is
+#    host-speed sensitive; the live re-measuring gate is `make gate`.
+camp_tmp=$(mktemp -d)
+go run ./cmd/wfqcampaign -quick -out "$camp_tmp/quick"
+go run ./cmd/wfqcampaign -gate -baseline results -candidate results
+go run ./cmd/wfqcampaign -degrade 0.40 -baseline results -out "$camp_tmp/degraded"
+! go run ./cmd/wfqcampaign -gate -baseline results -candidate "$camp_tmp/degraded"
+rm -rf "$camp_tmp"
